@@ -1,0 +1,102 @@
+//! Criterion benchmarks of the simulator's primitives: how fast the host
+//! can push simulated accesses through the cache/directory/TLB pipeline.
+//! These bound how large a configuration the `repro` harness can run.
+
+use ccsort_algos::dist::{generate, Dist};
+use ccsort_machine::{Machine, MachineConfig, Placement};
+use ccsort_models::PrefixTree;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn machine(p: usize) -> Machine {
+    Machine::new(MachineConfig::origin2000(p).scaled_down(16))
+}
+
+fn bench_touches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_touch");
+    let n = 1 << 16;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("scattered_writes", |b| {
+        b.iter_with_setup(
+            || {
+                let mut m = machine(4);
+                let a = m.alloc(n, Placement::Partitioned { parts: 4 }, "a");
+                (m, a)
+            },
+            |(mut m, a)| {
+                for i in 0..n {
+                    m.write_at(0, a, (i * 769) % n, i as u32);
+                }
+                m.parallel_time()
+            },
+        )
+    });
+    g.bench_function("streamed_read_runs", |b| {
+        b.iter_with_setup(
+            || {
+                let mut m = machine(4);
+                let a = m.alloc(n, Placement::Partitioned { parts: 4 }, "a");
+                (m, a, vec![0u32; 4096])
+            },
+            |(mut m, a, mut buf)| {
+                let mut off = 0;
+                while off < n {
+                    m.read_run(0, a, off, &mut buf);
+                    off += 4096;
+                }
+                m.parallel_time()
+            },
+        )
+    });
+    g.bench_function("dma_copy_64k", |b| {
+        b.iter_with_setup(
+            || {
+                let mut m = machine(4);
+                let a = m.alloc(n, Placement::Partitioned { parts: 4 }, "a");
+                let d = m.alloc(n, Placement::Partitioned { parts: 4 }, "d");
+                (m, a, d)
+            },
+            |(mut m, a, d)| {
+                m.dma_copy(0, a, 0, d, 0, n, true);
+                m.parallel_time()
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_prefix_tree(c: &mut Criterion) {
+    c.bench_function("prefix_tree_accumulate_64pe_256bins", |b| {
+        b.iter_with_setup(
+            || {
+                let mut m = machine(64);
+                let tree = PrefixTree::new(&mut m, 64, 256);
+                (m, tree)
+            },
+            |(mut m, tree)| {
+                let hist = vec![1u32; 256];
+                for pe in 0..64 {
+                    tree.set_local(&mut m, pe, &hist);
+                }
+                tree.accumulate(&mut m);
+                m.parallel_time()
+            },
+        )
+    });
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("keygen");
+    let n = 1 << 18;
+    g.throughput(Throughput::Elements(n as u64));
+    for dist in [Dist::Gauss, Dist::Random, Dist::Remote] {
+        g.bench_function(dist.name(), |b| b.iter(|| generate(dist, n, 16, 8, 1)));
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_touches, bench_prefix_tree, bench_keygen
+}
+criterion_main!(benches);

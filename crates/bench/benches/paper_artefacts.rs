@@ -1,0 +1,52 @@
+//! One criterion benchmark per paper artefact: each target regenerates one
+//! of the tables/figures of Shan & Singh (SC 1999) at smoke-test scale, so
+//! `cargo bench` exercises the entire reproduction pipeline end to end.
+//! (The full-fidelity regeneration is the `repro` binary; see
+//! EXPERIMENTS.md.)
+
+use ccsort_bench::figures;
+use ccsort_bench::runner::{Runner, RunnerOpts};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::Write;
+
+/// Tiny grid: three sizes, 4/8 processors, 4K simulated keys max.
+fn tiny_opts() -> RunnerOpts {
+    RunnerOpts { max_sim_n: 1 << 12, sizes: vec![0, 1, 2], procs: vec![4, 8], seed: 1, verbose: false }
+}
+
+/// Silence the generators' stdout while benchmarking.
+fn with_gag<F: FnOnce(&mut Runner)>(f: F) {
+    let mut r = Runner::new(tiny_opts());
+    // The generators print; that's part of the measured work (small).
+    f(&mut r);
+    std::io::stdout().flush().ok();
+}
+
+macro_rules! artefact_bench {
+    ($fn_name:ident, $generator:path, $label:literal) => {
+        fn $fn_name(c: &mut Criterion) {
+            c.bench_function($label, |b| b.iter(|| with_gag(|r| $generator(r))));
+        }
+    };
+}
+
+artefact_bench!(bench_table1, figures::table1, "artefact/table1");
+artefact_bench!(bench_fig1, figures::fig1, "artefact/fig1");
+artefact_bench!(bench_fig2, figures::fig2, "artefact/fig2");
+artefact_bench!(bench_fig3, figures::fig3, "artefact/fig3");
+artefact_bench!(bench_fig4, figures::fig4, "artefact/fig4");
+artefact_bench!(bench_fig5, figures::fig5, "artefact/fig5");
+artefact_bench!(bench_fig6, figures::fig6, "artefact/fig6");
+artefact_bench!(bench_fig7, figures::fig7, "artefact/fig7");
+artefact_bench!(bench_fig8, figures::fig8, "artefact/fig8");
+artefact_bench!(bench_fig9, figures::fig9, "artefact/fig9");
+artefact_bench!(bench_fig10, figures::fig10, "artefact/fig10");
+artefact_bench!(bench_table2, figures::table2_and_3, "artefact/table2_and_3");
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig1, bench_fig2, bench_fig3, bench_fig4, bench_fig5,
+        bench_fig6, bench_fig7, bench_fig8, bench_fig9, bench_fig10, bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion benchmarks of the real threaded sorting library: parallel
+//! radix sort, parallel sample sort, the sequential radix baseline and the
+//! standard library, across sizes and key types.
+
+use ccsort_parallel::{
+    par_merge_sort, par_msd_radix_sort, par_radix_sort_with, par_sample_sort_with, seq_radix_sort,
+    RadixSortConfig, SampleSortConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn keys_u32(n: usize) -> Vec<u32> {
+    (0..n as u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (x >> 33) as u32
+        })
+        .collect()
+}
+
+fn bench_sorts_u32(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_u32");
+    for shift in [14usize, 17, 20] {
+        let n = 1 << shift;
+        let input = keys_u32(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("std_sort_unstable", n), &input, |b, input| {
+            b.iter_with_setup(|| input.clone(), |mut v| v.sort_unstable())
+        });
+        g.bench_with_input(BenchmarkId::new("seq_radix", n), &input, |b, input| {
+            b.iter_with_setup(|| input.clone(), |mut v| seq_radix_sort(&mut v, 8))
+        });
+        g.bench_with_input(BenchmarkId::new("par_radix", n), &input, |b, input| {
+            b.iter_with_setup(
+                || input.clone(),
+                |mut v| {
+                    par_radix_sort_with(
+                        &mut v,
+                        &RadixSortConfig { sequential_cutoff: 0, ..Default::default() },
+                    )
+                },
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("par_sample", n), &input, |b, input| {
+            b.iter_with_setup(
+                || input.clone(),
+                |mut v| {
+                    par_sample_sort_with(
+                        &mut v,
+                        &SampleSortConfig { sequential_cutoff: 0, ..Default::default() },
+                    )
+                },
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("par_msd", n), &input, |b, input| {
+            b.iter_with_setup(|| input.clone(), |mut v| par_msd_radix_sort(&mut v))
+        });
+        g.bench_with_input(BenchmarkId::new("par_merge", n), &input, |b, input| {
+            b.iter_with_setup(|| input.clone(), |mut v| par_merge_sort(&mut v))
+        });
+    }
+    g.finish();
+}
+
+fn bench_radix_bits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radix_bits_u32");
+    let n = 1 << 18;
+    let input = keys_u32(n);
+    g.throughput(Throughput::Elements(n as u64));
+    for bits in [6u32, 8, 11, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter_with_setup(|| input.clone(), |mut v| seq_radix_sort(&mut v, bits))
+        });
+    }
+    g.finish();
+}
+
+fn bench_u64_keys(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_u64");
+    let n = 1 << 18;
+    let input: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("par_radix", |b| {
+        b.iter_with_setup(
+            || input.clone(),
+            |mut v| {
+                par_radix_sort_with(&mut v, &RadixSortConfig { sequential_cutoff: 0, ..Default::default() })
+            },
+        )
+    });
+    g.bench_function("par_sample", |b| {
+        b.iter_with_setup(
+            || input.clone(),
+            |mut v| {
+                par_sample_sort_with(&mut v, &SampleSortConfig { sequential_cutoff: 0, ..Default::default() })
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sorts_u32, bench_radix_bits, bench_u64_keys
+}
+criterion_main!(benches);

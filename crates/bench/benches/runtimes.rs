@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the in-process programming-model runtimes:
+//! SPMD spawn cost, collectives, and the message-passing / symmetric-heap
+//! radix sorts versus the shared-memory one.
+
+use ccsort_parallel::msg::{radix_sort_msg, spawn_spmd};
+use ccsort_parallel::sym::{radix_sort_shmem, SymHeap};
+use ccsort_parallel::{par_radix_sort_with, RadixSortConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+fn keys(n: usize) -> Vec<u32> {
+    (0..n as u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (x >> 33) as u32
+        })
+        .collect()
+}
+
+fn bench_spmd_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmd");
+    for ranks in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("spawn_barrier", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                spawn_spmd::<(), _, _>(ranks, |comm| {
+                    comm.barrier();
+                    comm.rank()
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("allgather_1k", ranks), &ranks, |b, &ranks| {
+            let payload: Vec<u32> = (0..256).collect();
+            b.iter(|| {
+                spawn_spmd::<Vec<u32>, _, _>(ranks, |comm| comm.allgather(payload.clone()).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_symheap_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("symheap");
+    g.bench_function("put_get_64k", |b| {
+        b.iter(|| {
+            let heap: Arc<SymHeap<u32>> = Arc::new(SymHeap::new(4, 1 << 14));
+            heap.run(|ctx| {
+                let right = (ctx.pe() + 1) % ctx.n_pes();
+                let data: Vec<u32> = (0..4096).map(|i| (ctx.pe() * 10000 + i) as u32).collect();
+                // SAFETY: disjoint destinations per PE, sealed by barriers.
+                unsafe { ctx.put(&data, right, 0) };
+                ctx.barrier();
+                let mut buf = vec![0u32; 4096];
+                unsafe { ctx.get(&mut buf, ctx.pe(), 0) };
+                criterion::black_box(buf[0]);
+            });
+        })
+    });
+    g.finish();
+}
+
+fn bench_model_sorts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_sorts_256k");
+    let n = 1 << 18;
+    let input = keys(n);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("shared_par_radix", |b| {
+        b.iter_with_setup(
+            || input.clone(),
+            |mut v| par_radix_sort_with(&mut v, &RadixSortConfig { sequential_cutoff: 0, ..Default::default() }),
+        )
+    });
+    g.bench_function("msg_radix_4ranks", |b| {
+        b.iter_with_setup(|| input.clone(), |mut v| radix_sort_msg(&mut v, 4, 8))
+    });
+    g.bench_function("shmem_radix_4pes", |b| {
+        b.iter_with_setup(|| input.clone(), |mut v| radix_sort_shmem(&mut v, 4, 8))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spmd_overhead, bench_symheap_ops, bench_model_sorts
+}
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! `ablate` — mechanism on/off studies for the simulator's design choices.
+//!
+//! ```text
+//! cargo run --release -p ccsort-bench --bin ablate [-- n p scale]
+//! ```
+//!
+//! DESIGN.md attributes each of the paper's headline effects to a specific
+//! modelled mechanism. This binary re-runs the four radix-sort variants
+//! (the most mechanism-sensitive programs) with one mechanism disabled at a
+//! time and prints how each variant's time moves — evidence that the
+//! reproduced shapes come from the intended causes and not from tuning
+//! accidents:
+//!
+//! * **no-retry** — scattered remote writes pay the plain scattered stall
+//!   instead of the NACK/retry storm (`write_stall_scattered_remote`);
+//!   expected: original CC-SAS recovers, others unchanged.
+//! * **no-contention** — controller occupancy priced at zero; expected:
+//!   CC-SAS recovers further, bulk-transfer models barely move.
+//! * **no-tlb** — TLB refills free; expected: CC-SAS (whose permutation
+//!   walks 2^r scattered pages) speeds up most.
+//! * **virtual-cache** — disable physically-indexed set selection;
+//!   expected: staging-buffer cursors alias on scaled machines
+//!   (pathological slowdowns that a real OS's page scatter prevents).
+//! * **free-messages** — software overheads of MPI/SHMEM set to zero;
+//!   expected: MPI/SHMEM gain, CC-SAS untouched, small sizes most of all.
+
+use ccsort_algos::dist::{generate, Dist, KEY_BITS};
+use ccsort_algos::radix;
+use ccsort_machine::{Machine, MachineConfig, Placement};
+use ccsort_models::MpiMode;
+
+#[derive(Clone, Copy)]
+enum Variant {
+    Ccsas,
+    CcsasNew,
+    Mpi,
+    Shmem,
+}
+
+const VARIANTS: [(Variant, &str); 4] = [
+    (Variant::Ccsas, "CC-SAS"),
+    (Variant::CcsasNew, "CC-SAS-NEW"),
+    (Variant::Mpi, "MPI(NEW)"),
+    (Variant::Shmem, "SHMEM"),
+];
+
+fn run(cfg: MachineConfig, variant: Variant, n: usize, p: usize, r: u32) -> f64 {
+    let mut m = Machine::new(cfg);
+    let a = m.alloc(n, Placement::Partitioned { parts: p }, "k0");
+    let b = m.alloc(n, Placement::Partitioned { parts: p }, "k1");
+    let input = generate(Dist::Gauss, n, p, r, 271828);
+    m.raw_mut(a).copy_from_slice(&input);
+    let out = match variant {
+        Variant::Ccsas => radix::ccsas::sort(&mut m, [a, b], n, r, KEY_BITS),
+        Variant::CcsasNew => radix::ccsas_new::sort(&mut m, [a, b], n, r, KEY_BITS),
+        Variant::Mpi => radix::mpi::sort(&mut m, MpiMode::Direct, [a, b], n, r, KEY_BITS),
+        Variant::Shmem => radix::shmem::sort(&mut m, [a, b], n, r, KEY_BITS),
+    };
+    let mut expect = input;
+    expect.sort_unstable();
+    assert_eq!(m.raw(out), &expect[..], "ablated run must still sort");
+    m.parallel_time()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1 << 19);
+    let p: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let r = 8;
+
+    let base_cfg = || MachineConfig::origin2000(p).scaled_down(scale);
+
+    let ablations: Vec<(&str, MachineConfig)> = vec![
+        ("baseline", base_cfg()),
+        ("no-retry", {
+            let mut c = base_cfg();
+            c.write_stall_scattered_remote = c.write_stall_scattered;
+            c
+        }),
+        ("no-contention", {
+            let mut c = base_cfg();
+            c.ctrl_occ_ns = 0.0;
+            c.data_occ_ns = 0.0;
+            c
+        }),
+        ("no-tlb", {
+            let mut c = base_cfg();
+            c.tlb_miss_ns = 0.0;
+            c
+        }),
+        ("virtual-cache", {
+            let mut c = base_cfg();
+            c.physical_cache_indexing = false;
+            c
+        }),
+        ("free-messages", {
+            let mut c = base_cfg();
+            c.mpi_send_overhead_ns = 0.0;
+            c.mpi_recv_overhead_ns = 0.0;
+            c.mpi_staged_extra_ns = 0.0;
+            c.shmem_overhead_ns = 0.0;
+            c
+        }),
+    ];
+
+    println!("radix sort ablations: n = {n}, p = {p}, machine scale 1/{scale}, radix {r}");
+    println!("(cell = time relative to that variant's baseline; < 1.0 means the mechanism was costing time)\n");
+    print!("{:>16}", "ablation");
+    for (_, name) in VARIANTS {
+        print!(" {name:>12}");
+    }
+    println!();
+
+    let baselines: Vec<f64> =
+        VARIANTS.iter().map(|&(v, _)| run(base_cfg(), v, n, p, r)).collect();
+    for (label, cfg) in &ablations {
+        print!("{label:>16}");
+        for (k, &(v, _)) in VARIANTS.iter().enumerate() {
+            let t = run(cfg.clone(), v, n, p, r);
+            print!(" {:>12.3}", t / baselines[k]);
+        }
+        println!();
+    }
+
+    println!("\nabsolute baseline times (ms):");
+    for (k, (_, name)) in VARIANTS.iter().enumerate() {
+        println!("{name:>12}: {:>10.2}", baselines[k] / 1e6);
+    }
+}

@@ -1,0 +1,43 @@
+//! # ccsort-algos
+//!
+//! The sorting programs of Shan & Singh, *Parallel Sorting on
+//! Cache-coherent DSM Multiprocessors* (SC 1999), implemented against the
+//! simulated Origin 2000 (`ccsort-machine`) through the three programming
+//! model runtimes (`ccsort-models`):
+//!
+//! * [`radix`] — parallel radix sort in five flavours: original CC-SAS
+//!   (scattered remote writes), restructured CC-SAS-NEW (local buffering),
+//!   MPI (staged or direct, chunk-per-message or coalesced) and SHMEM
+//!   (receiver-initiated `get`s).
+//! * [`sample`] — parallel sample sort in three flavours (CC-SAS, MPI,
+//!   SHMEM), with configurable sampling strategies (the paper's 128
+//!   regular samples per process by default) and two local radix sorts.
+//! * [`seq`] — the uniprocessor radix sort used as the speedup baseline for
+//!   *both* algorithms (Table 1).
+//! * [`dist`] — the eight key distributions of Section 3.3.
+//! * [`driver`] — one-call experiment runner producing verified, fully
+//!   deterministic results with per-processor BUSY/LMEM/RMEM/SYNC
+//!   breakdowns.
+//! * [`predict`] — the closed-form performance-prediction formula the
+//!   paper names as future work, checked against the simulator.
+//!
+//! ```
+//! use ccsort_algos::{run_experiment, Algorithm, ExpConfig};
+//!
+//! let res = run_experiment(&ExpConfig::new(Algorithm::RadixShmem, 4096, 4).scale(64));
+//! assert!(res.verified);
+//! assert!(res.parallel_ns > 0.0);
+//! ```
+
+pub mod common;
+pub mod costs;
+pub mod dist;
+pub mod driver;
+pub mod predict;
+pub mod radix;
+pub mod sample;
+pub mod seq;
+
+pub use dist::{Dist, KEY_BITS, MAX_KEY};
+pub use driver::{run_experiment, run_sequential_baseline, Algorithm, ExpConfig, ExpResult};
+pub use sample::SamplingStrategy;

@@ -1,0 +1,121 @@
+//! The original CC-SAS radix sort (SPLASH-2 style).
+//!
+//! Histogram accumulation uses the shared binary prefix tree — cheap,
+//! fine-grained load/store communication. The permutation writes each key
+//! *directly* into its position in the (mostly remote) output array: the
+//! writes are temporally interleaved across up to `2^r` destination
+//! segments and therefore appear scattered. Those scattered remote writes
+//! trigger a read-exclusive + invalidation + eventual writeback protocol
+//! sequence per line, and the resulting controller contention is what makes
+//! this program collapse for large data sets (Figure 4a).
+
+use ccsort_machine::{ArrayId, Machine};
+use ccsort_models::PrefixTree;
+
+use crate::common::{digit, exclusive_scan, local_histogram, n_passes, part_range, BLOCK};
+use crate::costs;
+
+/// Sort the keys in `keys[0]` (partitioned over all processors), using
+/// `keys[1]` as the toggle array. Returns the array holding the sorted
+/// result.
+pub fn sort(m: &mut Machine, keys: [ArrayId; 2], n: usize, r: u32, key_bits: u32) -> ArrayId {
+    let p = m.n_procs();
+    let bins = 1usize << r;
+    let passes = n_passes(key_bits, r);
+    let tree = PrefixTree::new(m, p, bins);
+    let (mut src, mut dst) = (keys[0], keys[1]);
+
+    for pass in 0..passes {
+        // Phase 1: per-process histogram of the current digit.
+        m.section("histogram");
+        for pe in 0..p {
+            let h = local_histogram(m, pe, src, part_range(n, p, pe), pass, r);
+            tree.set_local(m, pe, &h);
+        }
+        // Phase 2: accumulate through the shared prefix tree (internal
+        // barriers).
+        m.section("combine");
+        tree.accumulate(m);
+
+        // Phase 3: read ranks and permute with direct scattered writes.
+        m.section("permute");
+        for pe in 0..p {
+            let mut pref = vec![0u32; bins];
+            let mut tot = vec![0u32; bins];
+            tree.read_prefix(m, pe, &mut pref);
+            tree.read_totals(m, pe, &mut tot);
+            m.busy_cycles_fixed(pe, costs::SCAN_CYC_PER_BIN * bins as f64);
+            let scan = exclusive_scan(&tot);
+            let mut offsets: Vec<u32> = (0..bins).map(|d| scan[d] + pref[d]).collect();
+
+            let range = part_range(n, p, pe);
+            let mut buf = vec![0u32; BLOCK];
+            let mut pos = range.start;
+            while pos < range.end {
+                let blk = BLOCK.min(range.end - pos);
+                m.read_run(pe, src, pos, &mut buf[..blk]);
+                m.busy_cycles(pe, costs::PERMUTE_CYC_PER_KEY * blk as f64);
+                for &k in &buf[..blk] {
+                    let d = digit(k, pass, r);
+                    let dest = offsets[d] as usize;
+                    offsets[d] += 1;
+                    // The defining access of this program: a fine-grained
+                    // write into another process's partition.
+                    m.write_at(pe, dst, dest, k);
+                }
+                pos += blk;
+            }
+        }
+        m.barrier();
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{generate, Dist};
+    use ccsort_machine::{MachineConfig, Placement};
+
+    fn run(n: usize, p: usize, r: u32, dist: Dist) -> (Vec<u32>, Vec<u32>, f64) {
+        let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(64));
+        let a = m.alloc(n, Placement::Partitioned { parts: p }, "keys0");
+        let b = m.alloc(n, Placement::Partitioned { parts: p }, "keys1");
+        let input = generate(dist, n, p, r, 1234);
+        m.raw_mut(a).copy_from_slice(&input);
+        let out = sort(&mut m, [a, b], n, r, crate::dist::KEY_BITS);
+        (input, m.raw(out).to_vec(), m.parallel_time())
+    }
+
+    #[test]
+    fn sorts_gauss_keys() {
+        let (mut input, output, t) = run(4096, 8, 8, Dist::Gauss);
+        input.sort_unstable();
+        assert_eq!(output, input);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn sorts_with_odd_radix_and_procs() {
+        let (mut input, output, _) = run(3000, 6, 7, Dist::Random);
+        input.sort_unstable();
+        assert_eq!(output, input);
+    }
+
+    #[test]
+    fn sorts_adversarial_distributions() {
+        for dist in [Dist::Zero, Dist::Remote, Dist::Local, Dist::Stagger] {
+            let (mut input, output, _) = run(2048, 8, 8, dist);
+            input.sort_unstable();
+            assert_eq!(output, input, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn single_processor_degenerates_to_sequential() {
+        let (mut input, output, _) = run(1024, 1, 8, Dist::Gauss);
+        input.sort_unstable();
+        assert_eq!(output, input);
+    }
+}

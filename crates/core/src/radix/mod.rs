@@ -1,0 +1,143 @@
+//! Parallel radix sort under the three programming models (Section 3.1).
+//!
+//! All four variants share the iterative structure of the SPLASH-2 program:
+//! for each `r`-bit digit, (1) every process histograms its assigned keys,
+//! (2) local histograms are combined into global ranks, (3) every process
+//! permutes its keys into the output array — an all-to-all personalized
+//! communication — and the arrays swap roles. They differ exactly where the
+//! paper says they differ:
+//!
+//! | variant | histogram combine | permutation communication |
+//! |---|---|---|
+//! | [`ccsas`] | shared binary prefix tree | fine-grained scattered remote writes |
+//! | [`ccsas_new`] | shared binary prefix tree | local buffering + contiguous remote copies |
+//! | [`mpi`] | `MPI_Allgather` + redundant local combine | one message per contiguously-destined chunk |
+//! | [`mpi_coalesced`] | `MPI_Allgather` + redundant local combine | one message per destination (IS-style), receiver reorganizes |
+//! | [`shmem`] | `shmem_fcollect` + redundant local combine | receiver-initiated `get` per chunk |
+
+pub mod ccsas;
+pub mod ccsas_new;
+pub mod mpi;
+pub mod mpi_coalesced;
+pub mod shmem;
+
+use crate::common::{owner_of, part_range};
+
+/// Global destination offsets for every (process, digit) chunk, given all
+/// local histograms: `offsets[pe][d]` is where process `pe`'s keys with
+/// digit `d` start in the output array.
+pub fn global_offsets(hists: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let p = hists.len();
+    let bins = hists[0].len();
+    let mut totals = vec![0u32; bins];
+    for h in hists {
+        for (t, &c) in totals.iter_mut().zip(h) {
+            *t += c;
+        }
+    }
+    let scan = crate::common::exclusive_scan(&totals);
+    let mut out = vec![vec![0u32; bins]; p];
+    let mut running = scan;
+    for pe in 0..p {
+        for d in 0..bins {
+            out[pe][d] = running[d];
+            running[d] += hists[pe][d];
+        }
+    }
+    out
+}
+
+/// A contiguous piece of one process's digit chunk, destined for a single
+/// owner's partition of the output array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPiece {
+    /// Receiving process.
+    pub owner: usize,
+    /// Global element offset in the output array.
+    pub dst_off: usize,
+    /// Offset of this piece within the source chunk.
+    pub src_delta: usize,
+    /// Piece length in elements.
+    pub len: usize,
+}
+
+/// Split the chunk `[goff, goff+len)` of the output array along partition
+/// boundaries. Radix chunks usually land inside one partition, but a chunk
+/// straddling a boundary becomes one message per owner (the paper's MPI
+/// program sends "each contiguously-destined chunk of keys directly as a
+/// separate message").
+pub fn split_by_owner(n: usize, p: usize, goff: usize, len: usize) -> Vec<ChunkPiece> {
+    let mut out = Vec::new();
+    let mut start = goff;
+    let end = goff + len;
+    while start < end {
+        let owner = owner_of(n, p, start);
+        let part_end = part_range(n, p, owner).end;
+        let piece = end.min(part_end) - start;
+        out.push(ChunkPiece { owner, dst_off: start, src_delta: start - goff, len: piece });
+        start += piece;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_ranked_by_digit_then_process() {
+        // p=2, bins=4
+        let hists = vec![vec![2, 0, 1, 3], vec![1, 2, 0, 1]];
+        let off = global_offsets(&hists);
+        // digit 0: total 3 -> starts at 0; pe0 at 0, pe1 at 2.
+        assert_eq!(off[0][0], 0);
+        assert_eq!(off[1][0], 2);
+        // digit 1: starts at 3; pe0 has none -> both at 3, pe1 at 3.
+        assert_eq!(off[0][1], 3);
+        assert_eq!(off[1][1], 3);
+        // digit 2: starts at 5.
+        assert_eq!(off[0][2], 5);
+        assert_eq!(off[1][2], 6);
+        // digit 3: starts at 6.
+        assert_eq!(off[0][3], 6);
+        assert_eq!(off[1][3], 9);
+    }
+
+    #[test]
+    fn split_within_one_partition() {
+        // n=100, p=4: partitions of 25.
+        let pieces = split_by_owner(100, 4, 30, 10);
+        assert_eq!(pieces, vec![ChunkPiece { owner: 1, dst_off: 30, src_delta: 0, len: 10 }]);
+    }
+
+    #[test]
+    fn split_across_boundaries() {
+        let pieces = split_by_owner(100, 4, 20, 40);
+        assert_eq!(
+            pieces,
+            vec![
+                ChunkPiece { owner: 0, dst_off: 20, src_delta: 0, len: 5 },
+                ChunkPiece { owner: 1, dst_off: 25, src_delta: 5, len: 25 },
+                ChunkPiece { owner: 2, dst_off: 50, src_delta: 30, len: 10 },
+            ]
+        );
+        // Pieces tile the chunk.
+        let total: usize = pieces.iter().map(|c| c.len).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn split_empty_chunk() {
+        assert!(split_by_owner(100, 4, 50, 0).is_empty());
+    }
+
+    #[test]
+    fn split_with_uneven_partitions() {
+        // n=10, p=3: partitions [0,3), [3,6), [6,10).
+        let pieces = split_by_owner(10, 3, 2, 6);
+        let total: usize = pieces.iter().map(|c| c.len).sum();
+        assert_eq!(total, 6);
+        assert_eq!(pieces[0].owner, 0);
+        assert_eq!(pieces.last().unwrap().owner, 2);
+    }
+}

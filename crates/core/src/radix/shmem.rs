@@ -1,0 +1,204 @@
+//! SHMEM radix sort (Section 3.1, "SHMEM").
+//!
+//! Derived from the MPI program, with the communication simplified by
+//! one-sidedness: histograms are replicated with `shmem_fcollect`, the
+//! local permutation stages chunks exactly as in MPI, and then — because
+//! every process has the full histogram — the *receiver* pulls each chunk
+//! destined for its partition with a `get`. Only one side computes message
+//! parameters, there is no per-pair mailbox to stall on, and `get` deposits
+//! the keys directly in the destination processor's cache.
+
+use ccsort_machine::{ArrayId, Machine, Placement};
+use ccsort_models::{read_fixed, write_fixed, Shmem};
+
+use crate::common::{digit, exclusive_scan, local_histogram, n_passes, part_range, BLOCK};
+use crate::costs;
+use crate::radix::global_offsets;
+
+/// Sort `keys[0]` (partitioned / symmetric), toggling with `keys[1]`.
+/// Returns the array holding the sorted result.
+pub fn sort(m: &mut Machine, keys: [ArrayId; 2], n: usize, r: u32, key_bits: u32) -> ArrayId {
+    let p = m.n_procs();
+    let bins = 1usize << r;
+    let passes = n_passes(key_bits, r);
+
+    let stage = m.alloc(n, Placement::Partitioned { parts: p }, "stage");
+    let hist_arr = m.alloc(p * bins, Placement::Partitioned { parts: p }, "hists");
+    let replicas: Vec<ArrayId> = (0..p)
+        .map(|pe| {
+            let home = m.topo().node_of(pe);
+            m.alloc(p * bins, Placement::Node(home), "hist-replica")
+        })
+        .collect();
+    let shmem = Shmem::new(m);
+
+    let (mut src, mut dst) = (keys[0], keys[1]);
+    for pass in 0..passes {
+        // Phase 1: local histograms, published into the symmetric array.
+        m.section("histogram");
+        let mut hists: Vec<Vec<u32>> = Vec::with_capacity(p);
+        for pe in 0..p {
+            let h = local_histogram(m, pe, src, part_range(n, p, pe), pass, r);
+            m.busy_cycles_fixed(pe, bins as f64);
+            write_fixed(m, pe, hist_arr, pe * bins, &h);
+            hists.push(h);
+        }
+        m.barrier();
+
+        // Phase 2: replicate histograms with fcollect; combine redundantly.
+        m.section("combine");
+        let contribs: Vec<(ArrayId, usize)> = (0..p).map(|j| (hist_arr, j * bins)).collect();
+        for pe in 0..p {
+            shmem.fcollect(m, pe, &contribs, bins, replicas[pe]);
+        }
+        m.barrier();
+        let offsets = global_offsets(&hists);
+        let lscans: Vec<Vec<u32>> = hists.iter().map(|h| exclusive_scan(h)).collect();
+
+        // Phase 3: local permutation into contiguous staged chunks.
+        m.section("permute");
+        for pe in 0..p {
+            let mut replica = vec![0u32; p * bins];
+            read_fixed(m, pe, replicas[pe], 0, &mut replica);
+            m.busy_cycles_fixed(pe, costs::OFFSET_CYC_PER_ENTRY * (p * bins) as f64);
+
+            let range = part_range(n, p, pe);
+            let base = range.start;
+            let mut cursors = lscans[pe].clone();
+            let mut buf = vec![0u32; BLOCK];
+            let mut pos = range.start;
+            while pos < range.end {
+                let blk = BLOCK.min(range.end - pos);
+                m.read_run(pe, src, pos, &mut buf[..blk]);
+                m.busy_cycles(
+                    pe,
+                    (costs::PERMUTE_CYC_PER_KEY + costs::BUFFER_EXTRA_CYC_PER_KEY) * blk as f64,
+                );
+                for &k in &buf[..blk] {
+                    let d = digit(k, pass, r);
+                    let dest = base + cursors[d] as usize;
+                    cursors[d] += 1;
+                    m.write_at(pe, stage, dest, k);
+                }
+                pos += blk;
+            }
+        }
+        m.barrier();
+
+        // Phase 4: receiver-initiated communication. Each process walks the
+        // (replicated) histogram table and `get`s every chunk piece that
+        // lands in its own partition of the output array.
+        m.section("exchange");
+        for pe in 0..p {
+            let my = part_range(n, p, pe);
+            // Scanning the p*2^r table is real (cheap) work on each rank.
+            m.busy_cycles_fixed(pe, 0.5 * (p * bins) as f64);
+            for j in 0..p {
+                let src_base = part_range(n, p, j).start;
+                for d in 0..bins {
+                    let len = hists[j][d] as usize;
+                    if len == 0 {
+                        continue;
+                    }
+                    let goff = offsets[j][d] as usize;
+                    let s = goff.max(my.start);
+                    let e = (goff + len).min(my.end);
+                    if s >= e {
+                        continue;
+                    }
+                    let src_off = src_base + lscans[j][d] as usize + (s - goff);
+                    if j == pe {
+                        // Self-chunks move with a local block transfer.
+                        shmem.get_local(m, pe, dst, s, stage, src_off, e - s);
+                    } else {
+                        shmem.get(m, pe, dst, s, stage, src_off, e - s);
+                    }
+                }
+            }
+        }
+        m.barrier();
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{generate, Dist, KEY_BITS};
+    use ccsort_machine::MachineConfig;
+
+    fn run(n: usize, p: usize, r: u32, dist: Dist) -> (Vec<u32>, Vec<u32>) {
+        let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(64));
+        let a = m.alloc(n, Placement::Partitioned { parts: p }, "keys0");
+        let b = m.alloc(n, Placement::Partitioned { parts: p }, "keys1");
+        let input = generate(dist, n, p, r, 55);
+        m.raw_mut(a).copy_from_slice(&input);
+        let out = sort(&mut m, [a, b], n, r, KEY_BITS);
+        (input, m.raw(out).to_vec())
+    }
+
+    #[test]
+    fn sorts_gauss_keys() {
+        let (mut input, output) = run(4096, 8, 8, Dist::Gauss);
+        input.sort_unstable();
+        assert_eq!(output, input);
+    }
+
+    #[test]
+    fn sorts_all_distributions() {
+        for dist in Dist::ALL {
+            let (mut input, output) = run(2048, 4, 6, dist);
+            input.sort_unstable();
+            assert_eq!(output, input, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn local_distribution_sends_no_messages() {
+        let p = 8;
+        let n = 4096;
+        let r = 8;
+        let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(64));
+        let a = m.alloc(n, Placement::Partitioned { parts: p }, "k0");
+        let b = m.alloc(n, Placement::Partitioned { parts: p }, "k1");
+        let input = generate(Dist::Local, n, p, r, 55);
+        m.raw_mut(a).copy_from_slice(&input);
+        sort(&mut m, [a, b], n, r, KEY_BITS);
+        // Permutation messages: only the fcollect messages remain (p-1 per
+        // rank per pass, plus nothing from the key exchange).
+        let passes = n_passes(KEY_BITS, r) as u64;
+        for pe in 0..p {
+            assert_eq!(
+                m.events(pe).messages,
+                (p as u64 - 1) * passes,
+                "pe {pe}: local distribution must move no keys between processes"
+            );
+        }
+    }
+
+    #[test]
+    fn remote_distribution_moves_everything() {
+        let p = 4;
+        let n = 2048;
+        let r = 8;
+        let bytes_for = |dist: Dist| {
+            let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(64));
+            let a = m.alloc(n, Placement::Partitioned { parts: p }, "k0");
+            let b = m.alloc(n, Placement::Partitioned { parts: p }, "k1");
+            let input = generate(dist, n, p, r, 55);
+            m.raw_mut(a).copy_from_slice(&input);
+            sort(&mut m, [a, b], n, r, KEY_BITS);
+            (0..p).map(|pe| m.events(pe).message_bytes).sum::<u64>()
+        };
+        // Local moves no keys (its messages are the fcollect only); remote
+        // moves every key in every pass, so the difference must be at least
+        // the full data volume.
+        let remote = bytes_for(Dist::Remote);
+        let local = bytes_for(Dist::Local);
+        assert!(
+            remote >= local + (n * 4) as u64,
+            "remote ({remote}) must move far more bytes than local ({local})"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! SHMEM sample sort: obtained from the MPI program by replacing the
+//! send/receive pair in the exchange phase with a one-sided `get`
+//! (Section 3.2), and `MPI_Allgather` with `shmem_fcollect`.
+
+use ccsort_machine::{ArrayId, Machine};
+
+use super::Model;
+
+/// Sort `keys[0]` (partitioned / symmetric), using `keys[1]` as scratch.
+/// Returns the array holding the sorted result.
+pub fn sort(m: &mut Machine, keys: [ArrayId; 2], n: usize, r: u32, key_bits: u32) -> ArrayId {
+    super::sort(m, Model::Shmem, keys, n, r, key_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dist::Dist;
+    use crate::sample::tests::run_model;
+    use crate::sample::Model;
+    use ccsort_models::MpiMode;
+
+    #[test]
+    fn sorts_and_matches_mpi_output() {
+        let (mut input, a, _) = run_model(Model::Shmem, 4096, 8, 11, Dist::Bucket, 13);
+        let (_, b, _) = run_model(Model::Mpi(MpiMode::Direct), 4096, 8, 11, Dist::Bucket, 13);
+        input.sort_unstable();
+        assert_eq!(a, input);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shmem_beats_mpi_on_time() {
+        // One-sided exchange and cheap collectives: SHMEM sample sort must
+        // be at least as fast as MPI sample sort on the same input.
+        let (_, _, t_shmem) = run_model(Model::Shmem, 8192, 8, 8, Dist::Gauss, 2);
+        let (_, _, t_mpi) = run_model(Model::Mpi(MpiMode::Direct), 8192, 8, 8, Dist::Gauss, 2);
+        assert!(t_shmem < t_mpi, "SHMEM {t_shmem} vs MPI {t_mpi}");
+    }
+}

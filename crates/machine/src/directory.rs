@@ -1,0 +1,159 @@
+//! Full-map directory for the invalidation-based coherence protocol.
+//!
+//! One entry per cache line in the simulated address space. With at most 64
+//! processors a full bit-vector sharer set fits in a `u64`, exactly like the
+//! Origin 2000's own directory format for machines of this size.
+
+/// Directory state of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No cache holds the line.
+    Unowned,
+    /// One or more caches hold the line in Shared state.
+    Shared,
+    /// Exactly one cache holds the line in Exclusive/Modified state.
+    Exclusive(u8),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    sharers: u64,
+    owner: u8,
+    state: u8, // 0 = Unowned, 1 = Shared, 2 = Exclusive
+}
+
+const UNOWNED: u8 = 0;
+const SHARED: u8 = 1;
+const EXCLUSIVE: u8 = 2;
+
+/// The directory: line index -> coherence metadata.
+#[derive(Debug)]
+pub struct Directory {
+    entries: Vec<Entry>,
+}
+
+impl Directory {
+    pub fn new(total_lines: u64) -> Self {
+        Directory {
+            entries: vec![Entry { sharers: 0, owner: 0, state: UNOWNED }; total_lines as usize],
+        }
+    }
+
+    /// Grow to cover at least `total_lines` lines (after new allocations).
+    pub fn ensure(&mut self, total_lines: u64) {
+        if total_lines as usize > self.entries.len() {
+            self.entries.resize(total_lines as usize, Entry { sharers: 0, owner: 0, state: UNOWNED });
+        }
+    }
+
+    #[inline]
+    pub fn state(&self, line: u64) -> DirState {
+        let e = &self.entries[line as usize];
+        match e.state {
+            UNOWNED => DirState::Unowned,
+            SHARED => DirState::Shared,
+            _ => DirState::Exclusive(e.owner),
+        }
+    }
+
+    /// Sharer set (meaningful in Shared state; possibly imprecise — silent
+    /// evictions leave stale bits, just like a real coarse directory).
+    #[inline]
+    pub fn sharers(&self, line: u64) -> u64 {
+        self.entries[line as usize].sharers
+    }
+
+    /// Record that `pe` obtained a Shared copy.
+    #[inline]
+    pub fn add_sharer(&mut self, line: u64, pe: usize) {
+        let e = &mut self.entries[line as usize];
+        e.sharers |= 1 << pe;
+        e.state = SHARED;
+    }
+
+    /// Record that `pe` obtained exclusive ownership.
+    #[inline]
+    pub fn set_exclusive(&mut self, line: u64, pe: usize) {
+        let e = &mut self.entries[line as usize];
+        e.sharers = 1 << pe;
+        e.owner = pe as u8;
+        e.state = EXCLUSIVE;
+    }
+
+    /// Record that the line left all caches (writeback of the only copy, or
+    /// invalidation broadcast finished with no new owner).
+    #[inline]
+    pub fn set_unowned(&mut self, line: u64) {
+        let e = &mut self.entries[line as usize];
+        e.sharers = 0;
+        e.state = UNOWNED;
+    }
+
+    /// Remove `pe` from the sharer set (eviction notification / writeback).
+    /// Downgrades to Unowned when the last sharer leaves.
+    #[inline]
+    pub fn remove_sharer(&mut self, line: u64, pe: usize) {
+        let e = &mut self.entries[line as usize];
+        e.sharers &= !(1 << pe);
+        if e.sharers == 0 {
+            e.state = UNOWNED;
+        } else if e.state == EXCLUSIVE {
+            e.state = SHARED;
+        }
+    }
+
+    /// Sharers other than `pe` (the set a write by `pe` must invalidate).
+    #[inline]
+    pub fn other_sharers(&self, line: u64, pe: usize) -> u64 {
+        self.entries[line as usize].sharers & !(1 << pe)
+    }
+
+    /// Number of lines not in Unowned state (diagnostics/tests).
+    pub fn owned_lines(&self) -> usize {
+        self.entries.iter().filter(|e| e.state != UNOWNED).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut d = Directory::new(8);
+        assert_eq!(d.state(3), DirState::Unowned);
+        d.add_sharer(3, 5);
+        assert_eq!(d.state(3), DirState::Shared);
+        d.add_sharer(3, 9);
+        assert_eq!(d.sharers(3), (1 << 5) | (1 << 9));
+        assert_eq!(d.other_sharers(3, 5), 1 << 9);
+        d.set_exclusive(3, 9);
+        assert_eq!(d.state(3), DirState::Exclusive(9));
+        assert_eq!(d.sharers(3), 1 << 9);
+        d.remove_sharer(3, 9);
+        assert_eq!(d.state(3), DirState::Unowned);
+    }
+
+    #[test]
+    fn exclusive_owner_eviction_with_stale_sharer() {
+        let mut d = Directory::new(4);
+        d.add_sharer(0, 1);
+        d.add_sharer(0, 2);
+        d.remove_sharer(0, 1);
+        assert_eq!(d.state(0), DirState::Shared);
+        d.remove_sharer(0, 2);
+        assert_eq!(d.state(0), DirState::Unowned);
+    }
+
+    #[test]
+    fn ensure_grows() {
+        let mut d = Directory::new(2);
+        d.ensure(10);
+        assert_eq!(d.state(9), DirState::Unowned);
+        d.set_exclusive(9, 63);
+        assert_eq!(d.state(9), DirState::Exclusive(63));
+        // ensure() never shrinks.
+        d.ensure(4);
+        assert_eq!(d.state(9), DirState::Exclusive(63));
+    }
+}

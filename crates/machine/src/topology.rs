@@ -1,0 +1,156 @@
+//! Interconnect topology: processors on nodes, nodes on routers, routers in
+//! a hypercube.
+//!
+//! The Origin 2000 in the paper has 64 processors in 32 nodes (two per
+//! node); each pair of nodes shares a router, and the 16 routers form a
+//! 4-dimensional hypercube. Read latency grows by roughly 100 ns per router
+//! hop (Section 2). The hop count between two routers in a hypercube is the
+//! Hamming distance of their identifiers.
+
+use crate::config::MachineConfig;
+
+/// Static topology derived from a [`MachineConfig`].
+#[derive(Debug, Clone)]
+pub struct Topology {
+    procs_per_node: usize,
+    nodes_per_router: usize,
+    n_nodes: usize,
+    mem_local_ns: f64,
+    remote_base_ns: f64,
+    hop_ns: f64,
+}
+
+impl Topology {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Topology {
+            procs_per_node: cfg.procs_per_node,
+            nodes_per_router: cfg.nodes_per_router,
+            n_nodes: cfg.n_nodes(),
+            mem_local_ns: cfg.mem_local_ns,
+            remote_base_ns: cfg.remote_base_ns,
+            hop_ns: cfg.hop_ns,
+        }
+    }
+
+    /// Node hosting processor `pe`.
+    #[inline]
+    pub fn node_of(&self, pe: usize) -> usize {
+        pe / self.procs_per_node
+    }
+
+    /// Router attached to `node`.
+    #[inline]
+    pub fn router_of(&self, node: usize) -> usize {
+        node / self.nodes_per_router
+    }
+
+    /// Number of nodes in the machine.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Router hops between two nodes: 0 if they share a router, otherwise
+    /// the Hamming distance between router ids (hypercube routing).
+    #[inline]
+    pub fn hops(&self, node_a: usize, node_b: usize) -> u32 {
+        let ra = self.router_of(node_a);
+        let rb = self.router_of(node_b);
+        (ra ^ rb).count_ones()
+    }
+
+    /// Uncontended latency for processor `pe` to fetch a line homed at
+    /// `home` (first-word latency; matches the paper's 313 / ~796 / ~1010 ns
+    /// local / average / worst-case numbers for the 64-processor machine).
+    #[inline]
+    pub fn mem_latency(&self, pe: usize, home: usize) -> f64 {
+        let n = self.node_of(pe);
+        if n == home {
+            self.mem_local_ns
+        } else {
+            self.mem_local_ns + self.remote_base_ns + f64::from(self.hops(n, home)) * self.hop_ns
+        }
+    }
+
+    /// Latency between two *nodes* (used for forwarded interventions and
+    /// message transfers).
+    #[inline]
+    pub fn node_latency(&self, from: usize, to: usize) -> f64 {
+        if from == to {
+            self.mem_local_ns
+        } else {
+            self.mem_local_ns + self.remote_base_ns + f64::from(self.hops(from, to)) * self.hop_ns
+        }
+    }
+
+    /// Average memory latency from `pe` over all nodes, weighted uniformly.
+    /// Used only in tests/diagnostics to confirm the ~796 ns figure.
+    pub fn avg_latency(&self, pe: usize) -> f64 {
+        let total: f64 = (0..self.n_nodes).map(|h| self.mem_latency(pe, h)).sum();
+        total / self.n_nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn topo64() -> Topology {
+        Topology::new(&MachineConfig::origin2000(64))
+    }
+
+    #[test]
+    fn placement() {
+        let t = topo64();
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(1), 0);
+        assert_eq!(t.node_of(2), 1);
+        assert_eq!(t.node_of(63), 31);
+        assert_eq!(t.router_of(0), 0);
+        assert_eq!(t.router_of(1), 0);
+        assert_eq!(t.router_of(2), 1);
+        assert_eq!(t.router_of(31), 15);
+    }
+
+    #[test]
+    fn hypercube_hops() {
+        let t = topo64();
+        // Same router.
+        assert_eq!(t.hops(0, 1), 0);
+        // Routers 0 and 15 differ in 4 bits -> 4 hops.
+        assert_eq!(t.hops(0, 31), 4);
+        // Routers 0 and 1 -> 1 hop (nodes 0 and 2).
+        assert_eq!(t.hops(0, 2), 1);
+        // Symmetry.
+        for a in 0..32 {
+            for b in 0..32 {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_match_paper() {
+        let t = topo64();
+        assert!((t.mem_latency(0, 0) - 313.0).abs() < 1e-9);
+        // Worst case: 4 hops -> 313 + 300 + 400 = 1013 (paper: ~1010).
+        let worst = (0..32).map(|h| t.mem_latency(0, h)).fold(0.0_f64, f64::max);
+        assert!((worst - 1013.0).abs() < 1e-9);
+        // Average over local + all remote: paper says ~796.
+        let avg = t.avg_latency(0);
+        assert!((avg - 796.0).abs() < 60.0, "avg latency {avg} too far from 796");
+    }
+
+    #[test]
+    fn triangle_inequality_holds_for_hops() {
+        let t = topo64();
+        for a in 0..32 {
+            for b in 0..32 {
+                for c in 0..32 {
+                    assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+                }
+            }
+        }
+    }
+}

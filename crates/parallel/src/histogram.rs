@@ -1,0 +1,124 @@
+//! Parallel histogram and counting-sort utilities.
+//!
+//! The building blocks of every sort in this workspace, exposed for
+//! standalone use: a rayon-parallel digit histogram (fold-reduce over
+//! chunks) and a counting sort for small-range keys.
+
+use rayon::prelude::*;
+
+use crate::key::RadixKey;
+
+/// Count the occurrences of the `radix_bits`-wide digit at `shift` across
+/// `keys`, in parallel.
+pub fn par_digit_histogram<K: RadixKey>(keys: &[K], shift: u32, radix_bits: u32) -> Vec<usize> {
+    assert!((1..=16).contains(&radix_bits));
+    let bins = 1usize << radix_bits;
+    let mask = (bins - 1) as u64;
+    keys.par_chunks(64 * 1024)
+        .fold(
+            || vec![0usize; bins],
+            |mut h, chunk| {
+                for k in chunk {
+                    h[k.digit(shift, mask)] += 1;
+                }
+                h
+            },
+        )
+        .reduce(
+            || vec![0usize; bins],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Exclusive prefix sum, returning the total.
+pub fn exclusive_prefix_sum(counts: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for c in counts.iter_mut() {
+        let v = *c;
+        *c = acc;
+        acc += v;
+    }
+    acc
+}
+
+/// Counting sort for keys known to lie in `[0, max_value]`. O(n + max),
+/// stable, allocation = one count array plus the output.
+pub fn counting_sort(keys: &mut [u32], max_value: u32) {
+    let range = max_value as usize + 1;
+    assert!(range <= 1 << 26, "counting_sort range too large; use a radix sort");
+    let mut counts = vec![0usize; range];
+    for &k in keys.iter() {
+        assert!(k <= max_value, "key {k} exceeds declared max {max_value}");
+        counts[k as usize] += 1;
+    }
+    let mut out = 0usize;
+    for (v, &c) in counts.iter().enumerate() {
+        keys[out..out + c].fill(v as u32);
+        out += c;
+    }
+    debug_assert_eq!(out, keys.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn par_histogram_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys: Vec<u32> = (0..200_000).map(|_| rng.random()).collect();
+        for (shift, bits) in [(0u32, 8u32), (8, 8), (24, 8), (0, 11)] {
+            let par = par_digit_histogram(&keys, shift, bits);
+            let mut ser = vec![0usize; 1 << bits];
+            let mask = ((1u64 << bits) - 1) as u64;
+            for k in &keys {
+                ser[((*k as u64) >> shift & mask) as usize] += 1;
+            }
+            assert_eq!(par, ser, "shift={shift} bits={bits}");
+            assert_eq!(par.iter().sum::<usize>(), keys.len());
+        }
+    }
+
+    #[test]
+    fn prefix_sum_is_exclusive_and_totals() {
+        let mut v = vec![3usize, 0, 2, 5];
+        let total = exclusive_prefix_sum(&mut v);
+        assert_eq!(v, vec![0, 3, 3, 5]);
+        assert_eq!(total, 10);
+        let mut empty: Vec<usize> = vec![];
+        assert_eq!(exclusive_prefix_sum(&mut empty), 0);
+    }
+
+    #[test]
+    fn counting_sort_sorts_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: Vec<u32> = (0..50_000).map(|_| rng.random_range(0..1000u32)).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        counting_sort(&mut v, 999);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn counting_sort_edge_cases() {
+        let mut empty: Vec<u32> = vec![];
+        counting_sort(&mut empty, 10);
+        let mut same = vec![4u32; 100];
+        counting_sort(&mut same, 4);
+        assert!(same.iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds declared max")]
+    fn counting_sort_rejects_out_of_range() {
+        let mut v = vec![5u32];
+        counting_sort(&mut v, 4);
+    }
+}

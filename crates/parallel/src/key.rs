@@ -1,0 +1,89 @@
+//! The [`RadixKey`] trait: integer key types sortable by LSD radix sort.
+
+/// A fixed-width integer key with extractable radix digits.
+///
+/// The digit extraction must be order-preserving: sorting by digits from
+/// least to most significant (a stable LSD pass per digit) must yield the
+/// same order as `Ord`. For signed integers this is achieved by flipping
+/// the sign bit before extracting digits.
+pub trait RadixKey: Copy + Send + Sync + Ord {
+    /// Number of significant bits (the number of LSD passes is
+    /// `ceil(BITS / radix_bits)`).
+    const BITS: u32;
+
+    /// The unsigned, order-preserving image of the key.
+    fn to_bits(self) -> u64;
+
+    /// Extract the digit of `radix_bits` starting at `shift`.
+    #[inline]
+    fn digit(self, shift: u32, mask: u64) -> usize {
+        ((self.to_bits() >> shift) & mask) as usize
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl RadixKey for $t {
+            const BITS: u32 = <$t>::BITS;
+            #[inline]
+            fn to_bits(self) -> u64 {
+                self as u64
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl RadixKey for $t {
+            const BITS: u32 = <$t>::BITS;
+            #[inline]
+            fn to_bits(self) -> u64 {
+                // Flip the sign bit: maps the signed order onto the
+                // unsigned order.
+                ((self as $u) ^ (1 << (<$t>::BITS - 1))) as u64
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order_preserved<K: RadixKey>(vals: &[K]) {
+        for w in vals.windows(2) {
+            assert_eq!(w[0].cmp(&w[1]), w[0].to_bits().cmp(&w[1].to_bits()));
+        }
+    }
+
+    #[test]
+    fn unsigned_bits_are_identity() {
+        assert_eq!(42u32.to_bits(), 42);
+        assert_eq!(u64::MAX.to_bits(), u64::MAX);
+        order_preserved(&[0u32, 1, 2, 1000, u32::MAX]);
+    }
+
+    #[test]
+    fn signed_bits_preserve_order() {
+        order_preserved(&[i32::MIN, -1000, -1, 0, 1, 1000, i32::MAX]);
+        order_preserved(&[i64::MIN, -1, 0, i64::MAX]);
+        order_preserved(&[i8::MIN, -1, 0, i8::MAX]);
+    }
+
+    #[test]
+    fn digit_extraction() {
+        let k = 0xABCD_1234u32;
+        assert_eq!(k.digit(0, 0xFF), 0x34);
+        assert_eq!(k.digit(8, 0xFF), 0x12);
+        assert_eq!(k.digit(16, 0xFF), 0xCD);
+        assert_eq!(k.digit(24, 0xFF), 0xAB);
+        // Signed: -1i32 has all bits set except the flipped sign bit image.
+        assert_eq!((-1i32).digit(0, 0xFF), 0xFF);
+        assert_eq!((-1i32).digit(24, 0xFF), 0x7F);
+    }
+}

@@ -1,0 +1,169 @@
+//! MSD (most-significant-digit-first) radix sort — in-place, with parallel
+//! recursion over buckets.
+//!
+//! The paper's algorithms are LSD; MSD is the classic alternative with a
+//! different trade-off: no scratch array (American-flag permutation cycles
+//! in place), early termination on short buckets, and natural parallelism
+//! across disjoint buckets instead of across passes. Included so downstream
+//! users can pick per workload; the test suite cross-checks it against the
+//! LSD sorts.
+
+use rayon::prelude::*;
+
+use crate::key::RadixKey;
+
+/// Buckets shorter than this use insertion sort (standard MSD cutoff).
+const INSERTION_CUTOFF: usize = 48;
+/// Buckets shorter than this sort sequentially rather than spawning.
+const PARALLEL_CUTOFF: usize = 1 << 13;
+/// Digit width (8 keeps the 256-counter histogram cheap per level).
+const MSD_BITS: u32 = 8;
+
+/// Sort `keys` in place with a parallel MSD radix sort.
+pub fn par_msd_radix_sort<K: RadixKey>(keys: &mut [K]) {
+    if keys.len() <= 1 {
+        return;
+    }
+    let top_shift = K::BITS.saturating_sub(MSD_BITS);
+    msd_recurse(keys, top_shift, true);
+}
+
+/// Sort `keys` in place with the sequential MSD radix sort.
+pub fn msd_radix_sort<K: RadixKey>(keys: &mut [K]) {
+    if keys.len() <= 1 {
+        return;
+    }
+    let top_shift = K::BITS.saturating_sub(MSD_BITS);
+    msd_recurse(keys, top_shift, false);
+}
+
+fn insertion_sort<K: RadixKey>(keys: &mut [K]) {
+    for i in 1..keys.len() {
+        let mut j = i;
+        while j > 0 && keys[j - 1] > keys[j] {
+            keys.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+fn msd_recurse<K: RadixKey>(keys: &mut [K], shift: u32, parallel: bool) {
+    if keys.len() <= INSERTION_CUTOFF {
+        insertion_sort(keys);
+        return;
+    }
+    let bins = 1usize << MSD_BITS;
+    let mask = (bins - 1) as u64;
+
+    // Histogram of the current digit.
+    let mut counts = vec![0usize; bins];
+    for k in keys.iter() {
+        counts[k.digit(shift, mask)] += 1;
+    }
+    // Bucket start/end cursors.
+    let mut starts = vec![0usize; bins + 1];
+    for d in 0..bins {
+        starts[d + 1] = starts[d] + counts[d];
+    }
+
+    // American-flag in-place permutation: walk each bucket's head cursor,
+    // swapping misplaced keys into their home buckets.
+    let mut heads = starts.clone();
+    for d in 0..bins {
+        let end = starts[d + 1];
+        while heads[d] < end {
+            let k = keys[heads[d]];
+            let home = k.digit(shift, mask);
+            if home == d {
+                heads[d] += 1;
+            } else {
+                keys.swap(heads[d], heads[home]);
+                heads[home] += 1;
+            }
+        }
+    }
+
+    if shift == 0 {
+        return; // last digit: buckets are fully sorted
+    }
+    let next_shift = shift.saturating_sub(MSD_BITS);
+
+    // Recurse into buckets — disjoint slices, so this parallelizes with
+    // ordinary split borrows (no unsafe needed).
+    let mut rest: &mut [K] = keys;
+    let mut buckets: Vec<&mut [K]> = Vec::new();
+    for d in 0..bins {
+        let (head, tail) = rest.split_at_mut(starts[d + 1] - starts[d]);
+        buckets.push(head);
+        rest = tail;
+    }
+    if parallel {
+        buckets.into_par_iter().for_each(|b| {
+            if b.len() > 1 {
+                msd_recurse(b, next_shift, b.len() >= PARALLEL_CUTOFF);
+            }
+        });
+    } else {
+        for b in buckets {
+            if b.len() > 1 {
+                msd_recurse(b, next_shift, false);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn check<K: RadixKey + std::fmt::Debug>(mut v: Vec<K>, parallel: bool) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        if parallel {
+            par_msd_radix_sort(&mut v);
+        } else {
+            msd_radix_sort(&mut v);
+        }
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn msd_sorts_u32() {
+        let mut rng = StdRng::seed_from_u64(1);
+        check((0..50_000).map(|_| rng.random::<u32>()).collect(), false);
+        check((0..50_000).map(|_| rng.random::<u32>()).collect(), true);
+    }
+
+    #[test]
+    fn msd_sorts_signed_and_wide() {
+        let mut rng = StdRng::seed_from_u64(2);
+        check((0..30_000).map(|_| rng.random::<i64>()).collect(), true);
+        check((0..30_000).map(|_| rng.random::<u64>()).collect(), true);
+        check((0..30_000).map(|_| rng.random::<i8>()).collect(), true);
+    }
+
+    #[test]
+    fn msd_edge_cases() {
+        check(Vec::<u32>::new(), true);
+        check(vec![1u32], true);
+        check(vec![5u32; 10_000], true);
+        check((0..10_000u32).collect(), true);
+        check((0..10_000u32).rev().collect(), true);
+        // Low cardinality (deep equal-prefix recursion).
+        let mut rng = StdRng::seed_from_u64(3);
+        check((0..30_000).map(|_| rng.random_range(0..3u32)).collect(), true);
+    }
+
+    #[test]
+    fn msd_matches_lsd() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v: Vec<u32> = (0..40_000).map(|_| rng.random()).collect();
+        let mut a = v.clone();
+        let mut b = v;
+        par_msd_radix_sort(&mut a);
+        crate::radix::par_radix_sort(&mut b);
+        assert_eq!(a, b);
+    }
+}

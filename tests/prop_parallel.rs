@@ -1,0 +1,113 @@
+//! Property-based tests for the real threaded sorting library: for
+//! arbitrary inputs, every sort is a permutation-preserving ordering
+//! identical to the standard library's.
+
+use ccsort::parallel::msg::radix_sort_msg;
+use ccsort::parallel::sym::radix_sort_shmem;
+use ccsort::parallel::{
+    par_radix_sort_with, par_sample_sort_with, seq_radix_sort, RadixSortConfig, SampleSortConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn seq_radix_matches_std(mut v in proptest::collection::vec(any::<u32>(), 0..4000), bits in 1u32..=16) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        seq_radix_sort(&mut v, bits);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn seq_radix_matches_std_signed(mut v in proptest::collection::vec(any::<i64>(), 0..2000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        seq_radix_sort(&mut v, 11);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_radix_matches_std(
+        mut v in proptest::collection::vec(any::<u32>(), 0..6000),
+        chunks in 1usize..12,
+        bits in 4u32..=12,
+    ) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_radix_sort_with(&mut v, &RadixSortConfig {
+            radix_bits: bits,
+            chunks: Some(chunks),
+            sequential_cutoff: 0,
+        });
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_sample_matches_std(
+        mut v in proptest::collection::vec(any::<u64>(), 0..6000),
+        parts in 1usize..10,
+    ) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_sample_sort_with(&mut v, &SampleSortConfig {
+            parts: Some(parts),
+            sequential_cutoff: 0,
+            ..Default::default()
+        });
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_sample_handles_low_cardinality(
+        mut v in proptest::collection::vec(0u32..8, 0..6000),
+        parts in 1usize..10,
+    ) {
+        // Massive duplication: exercises the tied-splitter spreading.
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_sample_sort_with(&mut v, &SampleSortConfig {
+            parts: Some(parts),
+            sequential_cutoff: 0,
+            ..Default::default()
+        });
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn msg_radix_matches_std(
+        mut v in proptest::collection::vec(any::<u32>(), 0..3000),
+        p in 1usize..7,
+        bits in 6u32..=11,
+    ) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort_msg(&mut v, p, bits);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn shmem_radix_matches_std(
+        mut v in proptest::collection::vec(any::<u32>(), 0..3000),
+        p in 1usize..7,
+        bits in 6u32..=11,
+    ) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort_shmem(&mut v, p, bits);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn all_sorts_agree_pairwise(v in proptest::collection::vec(any::<u32>(), 0..3000)) {
+        let mut a = v.clone();
+        let mut b = v.clone();
+        let mut c = v;
+        par_radix_sort_with(&mut a, &RadixSortConfig { sequential_cutoff: 0, ..Default::default() });
+        par_sample_sort_with(&mut b, &SampleSortConfig { sequential_cutoff: 0, ..Default::default() });
+        radix_sort_msg(&mut c, 3, 8);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
+    }
+}

@@ -1,0 +1,34 @@
+//! The scaling model's core promise: running a paper-labelled size at a
+//! deeper machine scale preserves the model ordering, because capacities
+//! and fixed costs scale together (DESIGN.md §4).
+
+use ccsort::algos::{run_experiment, Algorithm, ExpConfig};
+
+/// "16M"-labelled radix sort at two different scales: the SHMEM > NEW >
+/// original-CC-SAS ordering must hold at both, and per-key times must land
+/// within a modest band of each other.
+#[test]
+fn radix_model_ordering_is_stable_across_scales() {
+    let p = 32;
+    let label_n = 1usize << 24; // "16M"
+    let per_key = |alg: Algorithm, scale: usize| {
+        let n = label_n / scale;
+        let res = run_experiment(&ExpConfig::new(alg, n, p).radix_bits(8).scale(scale));
+        assert!(res.verified);
+        res.parallel_ns / n as f64
+    };
+    for &scale in &[8usize, 32] {
+        let shmem = per_key(Algorithm::RadixShmem, scale);
+        let ccsas_new = per_key(Algorithm::RadixCcsasNew, scale);
+        let ccsas = per_key(Algorithm::RadixCcsas, scale);
+        assert!(
+            shmem < ccsas_new && ccsas_new < ccsas,
+            "scale {scale}: SHMEM ({shmem:.1}) < NEW ({ccsas_new:.1}) < CC-SAS ({ccsas:.1}) expected"
+        );
+    }
+    // Per-key cost of the same label at the two scales agrees within 2x.
+    let a = per_key(Algorithm::RadixShmem, 8);
+    let b = per_key(Algorithm::RadixShmem, 32);
+    let ratio = a.max(b) / a.min(b);
+    assert!(ratio < 2.0, "per-key time drifted {ratio:.2}x between scales ({a:.1} vs {b:.1} ns/key)");
+}
