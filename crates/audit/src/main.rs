@@ -1,0 +1,145 @@
+//! `ccsort-audit` — conformance sweeps and failure replay.
+//!
+//! ```text
+//! cargo run -p ccsort-audit -- sweep [--quick] [--seed S]
+//! cargo run -p ccsort-audit -- replay --alg NAME|all --dist NAME \
+//!     --n N --p P --r R --seed S [--scale K]
+//! ```
+//!
+//! `sweep` exits non-zero if any point fails; every failure line embeds the
+//! exact `replay` invocation that reproduces it.
+
+use ccsort_audit::{audit_point, validate_dist, Point};
+use ccsort_algos::{Algorithm, Dist};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("sweep") => sweep(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  ccsort-audit sweep [--quick] [--seed S]\n  \
+                 ccsort-audit replay --alg NAME|all --dist NAME --n N --p P --r R --seed S [--scale K]"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_or_exit<T: std::str::FromStr>(args: &[String], name: &str, default: Option<T>) -> T {
+    match flag_value(args, name) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for {name}: {v}");
+            std::process::exit(2);
+        }),
+        None => default.unwrap_or_else(|| {
+            eprintln!("missing required flag {name}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// The acceptance grid: every algorithm, every distribution, power-of-two
+/// and odd processor counts. `--quick` keeps one (n, r) point per cell;
+/// the full sweep adds a larger n, a wider radix and a second seed.
+fn sweep(args: &[String]) -> i32 {
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed: u64 = parse_or_exit(args, "--seed", Some(0));
+    let ps = [1usize, 3, 4, 7, 8, 16];
+    let points: Vec<(usize, u32, u64)> = if quick {
+        vec![(1 << 10, 6, seed)]
+    } else {
+        vec![(1 << 10, 6, seed), (1 << 12, 8, seed), (1 << 10, 6, seed.wrapping_add(271828))]
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for &(n, r, seed) in &points {
+        for &p in &ps {
+            for dist in Dist::ALL {
+                let pt = Point { dist, n, p, r, seed, scale: 256 };
+                let mut errs = validate_dist(dist, n, p, r, seed);
+                // The old zero-fill bug only bit when p ∤ n; always probe a
+                // small non-divisible companion point too.
+                if n % p == 0 && p > 1 {
+                    errs.extend(validate_dist(dist, n + p / 2, p, r, seed));
+                }
+                errs.extend(audit_point(&pt, &Algorithm::ALL));
+                checked += 1;
+                let status = if errs.is_empty() { "ok" } else { "FAIL" };
+                println!("{status:>4}  {} n={n} p={p} r={r} seed={seed}", dist.name());
+                failures.extend(errs);
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("sweep clean: {checked} points, all implementations agree, all invariants hold");
+        0
+    } else {
+        eprintln!("\n{} violation(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        1
+    }
+}
+
+/// Re-run one point from a failure artifact.
+fn replay(args: &[String]) -> i32 {
+    let alg_name = flag_value(args, "--alg").unwrap_or("all");
+    let dist_name = flag_value(args, "--dist").unwrap_or_else(|| {
+        eprintln!("missing required flag --dist");
+        std::process::exit(2);
+    });
+    let Some(dist) = Dist::parse(dist_name) else {
+        eprintln!("unknown distribution {dist_name}");
+        return 2;
+    };
+    let algs: Vec<Algorithm> = if alg_name == "all" {
+        Algorithm::ALL.to_vec()
+    } else {
+        match Algorithm::parse(alg_name) {
+            Some(a) => vec![a],
+            None => {
+                eprintln!("unknown algorithm {alg_name}");
+                return 2;
+            }
+        }
+    };
+    let pt = Point {
+        dist,
+        n: parse_or_exit(args, "--n", None),
+        p: parse_or_exit(args, "--p", None),
+        r: parse_or_exit(args, "--r", None),
+        seed: parse_or_exit(args, "--seed", None),
+        scale: parse_or_exit(args, "--scale", Some(256)),
+    };
+    if pt.p < 1 || pt.n < pt.p {
+        eprintln!("need --p >= 1 and --n >= --p (got n={} p={})", pt.n, pt.p);
+        return 2;
+    }
+    if pt.r < 1 || pt.r > 31 {
+        eprintln!("need --r in 1..=31 (got {})", pt.r);
+        return 2;
+    }
+
+    let mut errs = validate_dist(pt.dist, pt.n, pt.p, pt.r, pt.seed);
+    errs.extend(audit_point(&pt, &algs));
+    if errs.is_empty() {
+        println!("replay clean: {}", pt.replay_command(None));
+        0
+    } else {
+        eprintln!("{} violation(s):", errs.len());
+        for e in &errs {
+            eprintln!("  {e}");
+        }
+        1
+    }
+}

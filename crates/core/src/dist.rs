@@ -22,6 +22,8 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::common::part_range;
+
 /// Exclusive upper bound on key values: 2^31.
 pub const MAX_KEY: u64 = 1 << 31;
 /// Number of significant key bits.
@@ -40,8 +42,10 @@ pub enum Dist {
     /// Each process's partition split into `p` blocks; block `j` uniform in
     /// `[j*MAX/p, (j+1)*MAX/p)`.
     Bucket,
-    /// Process `i < p/2` draws from `[(2i+1)MAX/p, (2i+2)MAX/p)`; process
-    /// `i >= p/2` from `[(2i-p)MAX/p, (2i-p+1)MAX/p)`.
+    /// Process `i` draws from key window `[w MAX/p, (w+1) MAX/p)` where
+    /// `w = stagger_window(p, i)` — a permutation of the `p` windows for
+    /// every `p` (see [`stagger_window`]), so no two processes collide and
+    /// no window degenerates.
     Stagger,
     /// Gauss restricted to even values.
     Half,
@@ -110,14 +114,37 @@ impl NasRng {
     }
 }
 
+/// Key window drawn by process `i` under [`Dist::Stagger`]: a permutation
+/// of `0..p` for every `p`.
+///
+/// Even `p` uses the paper's mapping — the first half of the processes take
+/// the odd windows (`2i+1`), the second half the even ones (`2i-p`). For odd
+/// `p` that formula collides (with `p=3`, processes 0 and 2 both land on
+/// window 1), so odd `p` uses `(2i+1) mod p` instead, which cycles through
+/// all `p` windows exactly when `p` is odd.
+pub fn stagger_window(p: usize, i: usize) -> usize {
+    debug_assert!(i < p);
+    if p % 2 == 1 {
+        (2 * i + 1) % p
+    } else if 2 * i < p {
+        2 * i + 1
+    } else {
+        2 * i - p
+    }
+}
+
 /// Generate `n` keys for `p` processes with radix size `r` (only `Remote`
 /// and `Local` depend on `r`) and the given seed (`Gauss`/`Half` are fully
 /// defined by the paper's recurrence and ignore it).
+///
+/// Process `i`'s keys occupy `part_range(n, p, i)` — the same partition the
+/// sorting programs use — so every slot is written even when `p ∤ n` (the
+/// last processes absorb the remainder instead of leaving a zero-filled
+/// tail).
 pub fn generate(dist: Dist, n: usize, p: usize, r: u32, seed: u64) -> Vec<u32> {
     assert!(p >= 1 && n >= p, "need at least one key per process");
     assert!((1..=16).contains(&r), "radix size out of range");
     let mut keys = vec![0u32; n];
-    let per = n / p;
     match dist {
         Dist::Gauss => {
             let mut g = NasRng::new();
@@ -145,10 +172,11 @@ pub fn generate(dist: Dist, n: usize, p: usize, r: u32, seed: u64) -> Vec<u32> {
         }
         Dist::Bucket => {
             let mut rng = StdRng::seed_from_u64(seed);
-            let block = per.div_ceil(p);
             for i in 0..p {
-                for (idx, slot) in (i * per..(i + 1) * per).enumerate() {
-                    let j = (idx / block.max(1)).min(p - 1) as u64;
+                let range = part_range(n, p, i);
+                let block = range.len().div_ceil(p).max(1);
+                for (idx, slot) in range.enumerate() {
+                    let j = (idx / block).min(p - 1) as u64;
                     let lo = j * MAX_KEY / p as u64;
                     let hi = (j + 1) * MAX_KEY / p as u64;
                     keys[slot] = rng.random_range(lo..hi.max(lo + 1)) as u32;
@@ -158,18 +186,10 @@ pub fn generate(dist: Dist, n: usize, p: usize, r: u32, seed: u64) -> Vec<u32> {
         Dist::Stagger => {
             let mut rng = StdRng::seed_from_u64(seed);
             for i in 0..p {
-                // First half of the processes draw from the high-range
-                // windows, second half from the low ones; `2*i < p` (rather
-                // than `i < p/2`) keeps `2*i - p` from underflowing when p
-                // is odd.
-                let (lo_mul, hi_mul) = if 2 * i < p {
-                    ((2 * i + 1) as u64, (2 * i + 2) as u64)
-                } else {
-                    ((2 * i - p) as u64, (2 * i - p + 1) as u64)
-                };
-                let lo = (lo_mul * MAX_KEY / p as u64).min(MAX_KEY - 1);
-                let hi = (hi_mul * MAX_KEY / p as u64).clamp(lo + 1, MAX_KEY);
-                for slot in i * per..(i + 1) * per {
+                let w = stagger_window(p, i) as u64;
+                let lo = w * MAX_KEY / p as u64;
+                let hi = (w + 1) * MAX_KEY / p as u64;
+                for slot in part_range(n, p, i) {
                     keys[slot] = rng.random_range(lo..hi) as u32;
                 }
             }
@@ -182,7 +202,7 @@ pub fn generate(dist: Dist, n: usize, p: usize, r: u32, seed: u64) -> Vec<u32> {
                 let hi = (((i + 1) as u64) * radix / p as u64).max(lo + 1);
                 let in_len = hi - lo;
                 let out_len = radix - in_len;
-                for slot in i * per..(i + 1) * per {
+                for slot in part_range(n, p, i) {
                     // First digit: uniform over [0, 2^r) \ [lo, hi).
                     let first = if out_len == 0 {
                         // Degenerate (p == 1): nowhere else to go.
@@ -218,7 +238,7 @@ pub fn generate(dist: Dist, n: usize, p: usize, r: u32, seed: u64) -> Vec<u32> {
             for i in 0..p {
                 let lo = (i as u64) * radix / p as u64;
                 let hi = (((i + 1) as u64) * radix / p as u64).max(lo + 1);
-                for slot in i * per..(i + 1) * per {
+                for slot in part_range(n, p, i) {
                     let v = rng.random_range(lo..hi);
                     // Duplicate the digit only into *full* r-bit positions:
                     // the top partial digit stays zero, so it too keeps the
@@ -378,6 +398,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stagger_windows_form_a_permutation_for_every_p() {
+        for p in 1..=33 {
+            let mut windows: Vec<usize> = (0..p).map(|i| stagger_window(p, i)).collect();
+            windows.sort_unstable();
+            assert_eq!(windows, (0..p).collect::<Vec<_>>(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn stagger_odd_p_keys_stay_in_disjoint_windows() {
+        for &(n, p) in &[(1usize << 10, 3usize), (64, 7), (1 << 10, 7), (100, 5)] {
+            let keys = generate(Dist::Stagger, n, p, 6, 0);
+            for i in 0..p {
+                let w = stagger_window(p, i) as u64;
+                let lo = w * MAX_KEY / p as u64;
+                let hi = (w + 1) * MAX_KEY / p as u64;
+                for slot in part_range(n, p, i) {
+                    let k = keys[slot] as u64;
+                    assert!(
+                        k >= lo && k < hi,
+                        "n={n} p={p} proc {i} slot {slot} key {k} not in [{lo},{hi})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_slots_are_covered_when_p_does_not_divide_n() {
+        // n=1024, p=3: the old `per = n/p` truncation left slot 1023
+        // zero-filled. Every partitioned generator must now write it with a
+        // value from the last process's assigned window.
+        let n = 1024;
+        let p = 3;
+        let keys = generate(Dist::Stagger, n, p, 6, 0);
+        let w = stagger_window(p, p - 1) as u64; // process 2 -> window 2
+        assert_eq!(w, 2);
+        let k = keys[n - 1] as u64;
+        assert!(k >= w * MAX_KEY / 3 && k < (w + 1) * MAX_KEY / 3, "tail key {k}");
+
+        // Local: the tail slot's every full digit must be in process 2's
+        // digit range, which excludes digit 0 — so the key cannot be zero.
+        let r = 6;
+        let radix = 1u64 << r;
+        let keys = generate(Dist::Local, n, p, r, 0);
+        let lo = (p as u64 - 1) * radix / p as u64;
+        let k = keys[n - 1] as u64;
+        assert!(k & (radix - 1) >= lo, "local tail digit {} below {lo}", k & (radix - 1));
+
+        // Remote: the tail slot's second digit must be in process 2's range.
+        let keys = generate(Dist::Remote, n, p, r, 0);
+        let d1 = (keys[n - 1] as u64 >> r) & (radix - 1);
+        assert!(d1 >= lo, "remote tail second digit {d1} below {lo}");
     }
 
     #[test]

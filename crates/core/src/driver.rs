@@ -221,7 +221,23 @@ impl ExpResult {
 /// Run one experiment: generate keys, simulate the chosen program, verify
 /// the output.
 pub fn run_experiment(cfg: &ExpConfig) -> ExpResult {
+    execute(cfg, false).0
+}
+
+/// Like [`run_experiment`], but with the machine-invariant audit enabled:
+/// [`ccsort_machine::Machine::audit`] runs at every program `section()`
+/// boundary (panicking on protocol bugs mid-run) and once more after the
+/// sort; the final audit's violations are returned alongside the result.
+/// An empty list means every coherence, time-accounting and capacity
+/// invariant held. Slower than [`run_experiment`] — meant for the
+/// conformance tooling and tests, not timing sweeps.
+pub fn run_experiment_audited(cfg: &ExpConfig) -> (ExpResult, Vec<String>) {
+    execute(cfg, true)
+}
+
+fn execute(cfg: &ExpConfig, audit: bool) -> (ExpResult, Vec<String>) {
     let mut m = Machine::new(cfg.machine_config());
+    m.set_section_audit(audit);
     let n = cfg.n;
     let p = cfg.p;
     let r = cfg.radix_bits;
@@ -279,8 +295,9 @@ pub fn run_experiment(cfg: &ExpConfig) -> ExpResult {
     let mut expect = input;
     expect.sort_unstable();
     let verified = m.raw(out) == &expect[..];
+    let violations = if audit { m.audit() } else { Vec::new() };
 
-    ExpResult {
+    let res = ExpResult {
         algorithm: cfg.algorithm,
         n,
         p,
@@ -291,7 +308,8 @@ pub fn run_experiment(cfg: &ExpConfig) -> ExpResult {
         events: (0..p).map(|pe| m.events(pe)).collect(),
         verified,
         sections: m.section_profile().into_iter().map(|(n, t)| (n.to_string(), t)).collect(),
-    }
+    };
+    (res, violations)
 }
 
 /// Run the sequential radix-sort baseline for speedup computations
@@ -408,6 +426,18 @@ mod section_tests {
             warm.parallel_ns,
             cold.parallel_ns
         );
+    }
+
+    #[test]
+    fn audited_run_matches_unaudited_and_is_clean() {
+        let cfg = ExpConfig::new(Algorithm::RadixCcsas, 2048, 4).scale(64);
+        let plain = run_experiment(&cfg);
+        let (audited, violations) = run_experiment_audited(&cfg);
+        assert!(violations.is_empty(), "audit violations: {violations:?}");
+        assert!(audited.verified);
+        // Auditing observes; it must not perturb the simulation.
+        assert_eq!(plain.parallel_ns, audited.parallel_ns);
+        assert_eq!(plain.per_pe, audited.per_pe);
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub mod radix;
 pub mod sample;
 pub mod seq;
 
-pub use dist::{Dist, KEY_BITS, MAX_KEY};
-pub use driver::{run_experiment, run_sequential_baseline, Algorithm, ExpConfig, ExpResult};
+pub use dist::{stagger_window, Dist, KEY_BITS, MAX_KEY};
+pub use driver::{
+    run_experiment, run_experiment_audited, run_sequential_baseline, Algorithm, ExpConfig,
+    ExpResult,
+};
 pub use sample::SamplingStrategy;

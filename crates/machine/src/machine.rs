@@ -73,6 +73,10 @@ pub struct Machine {
     /// "program/library instrumentation").
     sections: Vec<(&'static str, Vec<TimeBreakdown>)>,
     cur_section: usize,
+    /// When set, [`Machine::audit`] runs at every [`Machine::section`]
+    /// boundary and panics on the first violation (opt-in; see
+    /// [`Machine::set_section_audit`]).
+    section_audit: bool,
 }
 
 impl Machine {
@@ -112,6 +116,7 @@ impl Machine {
             dir: Directory::new(0),
             sections: vec![("(untagged)", vec![TimeBreakdown::default(); n_procs])],
             cur_section: 0,
+            section_audit: false,
             cfg,
             topo,
             mem,
@@ -203,6 +208,15 @@ impl Machine {
     /// accumulate under the most recent `section` call. Re-using a name
     /// resumes its accumulator (so per-pass phases aggregate naturally).
     pub fn section(&mut self, name: &'static str) {
+        if self.section_audit {
+            let errs = self.audit();
+            assert!(
+                errs.is_empty(),
+                "machine audit failed leaving section {:?} (entering {name:?}):\n  {}",
+                self.sections[self.cur_section].0,
+                errs.join("\n  ")
+            );
+        }
         if let Some(i) = self.sections.iter().position(|(n, _)| *n == name) {
             self.cur_section = i;
         } else {
@@ -779,6 +793,96 @@ impl Machine {
         errs
     }
 
+    /// Full machine-invariant audit: every [`Machine::check_coherence`]
+    /// invariant plus time-accounting and capacity invariants. Returns a
+    /// list of violations (empty = healthy):
+    ///
+    /// * no time bucket (BUSY/LMEM/RMEM/SYNC) is negative, NaN or infinite,
+    ///   and no processor clock is;
+    /// * each processor's bucket total is at most the parallel time (the
+    ///   slowest clock) and agrees with its own clock;
+    /// * L1, L2 and TLB occupancy never exceed their configured capacity;
+    /// * the directory never records sharers beyond the processor count.
+    pub fn audit(&self) -> Vec<String> {
+        let mut errs = self.check_coherence();
+        let par = self.parallel_time();
+        let tol = 1e-9 * par.abs().max(1.0);
+        let l1_cap = self.cfg.l1.sets() * self.cfg.l1.assoc;
+        let l2_cap = self.cfg.l2.sets() * self.cfg.l2.assoc;
+        for pe in 0..self.cfg.n_procs {
+            let s = &self.pes[pe];
+            let b = &s.brk;
+            for (name, v) in
+                [("busy", b.busy), ("lmem", b.lmem), ("rmem", b.rmem), ("sync", b.sync)]
+            {
+                if !v.is_finite() || v < 0.0 {
+                    errs.push(format!("pe {pe}: {name} bucket is {v}"));
+                }
+            }
+            if !s.time.is_finite() || s.time < 0.0 {
+                errs.push(format!("pe {pe}: clock is {}", s.time));
+            }
+            if b.total() > par + tol {
+                errs.push(format!(
+                    "pe {pe}: bucket total {} exceeds parallel time {par}",
+                    b.total()
+                ));
+            }
+            if (b.total() - s.time).abs() > tol {
+                errs.push(format!(
+                    "pe {pe}: bucket total {} drifted from clock {}",
+                    b.total(),
+                    s.time
+                ));
+            }
+            if s.l1.resident() > l1_cap {
+                errs.push(format!("pe {pe}: L1 holds {} lines, capacity {l1_cap}", s.l1.resident()));
+            }
+            if s.cache.resident() > l2_cap {
+                errs.push(format!("pe {pe}: L2 holds {} lines, capacity {l2_cap}", s.cache.resident()));
+            }
+            if s.tlb.mapped() > self.cfg.tlb_entries {
+                errs.push(format!(
+                    "pe {pe}: TLB maps {} pages, capacity {}",
+                    s.tlb.mapped(),
+                    self.cfg.tlb_entries
+                ));
+            }
+        }
+        if self.cfg.n_procs < 64 {
+            for line in 0..self.mem.total_lines() {
+                let ghost = self.dir.sharers(line) >> self.cfg.n_procs;
+                if ghost != 0 {
+                    errs.push(format!(
+                        "line {line}: directory sharer bits beyond processor count ({ghost:#x} << {})",
+                        self.cfg.n_procs
+                    ));
+                }
+            }
+        }
+        errs
+    }
+
+    /// Opt in to (or out of) auditing at every [`Machine::section`]
+    /// boundary: each phase transition runs [`Machine::audit`] and panics on
+    /// the first violation, naming the section being left. Off by default —
+    /// the audit walks the whole directory, so per-phase auditing is meant
+    /// for tests and debugging, not timing runs.
+    pub fn set_section_audit(&mut self, on: bool) {
+        self.section_audit = on;
+    }
+
+    /// Deliberately corrupt coherence state: install the line holding
+    /// `arr[idx]` as a Shared copy in `pe`'s L2 *without* telling the
+    /// directory — exactly the stale copy a protocol bug that skips an
+    /// invalidation (or drops a sharer-set update) would leave behind.
+    /// Exists so tests can prove [`Machine::audit`] catches real protocol
+    /// bugs; the simulator itself never calls it.
+    pub fn inject_stale_sharer(&mut self, pe: usize, arr: ArrayId, idx: usize) {
+        let line = self.mem.addr_of(arr, idx) >> self.line_shift;
+        self.pes[pe].cache.install(line, LineState::Shared);
+    }
+
     /// Sum of the per-processor breakdowns.
     pub fn total_breakdown(&self) -> TimeBreakdown {
         let mut t = TimeBreakdown::default();
@@ -1134,5 +1238,80 @@ mod section_tests {
         assert_eq!(m.events(0).messages, 2);
         assert_eq!(m.events(0).message_bytes, 1040);
         assert_eq!(m.events(1).messages, 0);
+    }
+}
+
+#[cfg(test)]
+mod audit_tests {
+    use super::*;
+
+    fn small_machine(n_procs: usize) -> Machine {
+        let mut cfg = MachineConfig::origin2000(n_procs);
+        cfg.l2 = crate::config::CacheGeom { size: 16 * 1024, assoc: 2, line: 128 };
+        cfg.page_size = 4096;
+        cfg.tlb_entries = 16;
+        Machine::new(cfg)
+    }
+
+    #[test]
+    fn audit_clean_after_mixed_traffic() {
+        let mut m = small_machine(4);
+        let a = m.alloc(1024, Placement::Partitioned { parts: 4 }, "a");
+        let b = m.alloc(1024, Placement::Partitioned { parts: 4 }, "b");
+        for pe in 0..4 {
+            for i in 0..64 {
+                m.write_at(pe, a, (pe * 256 + i * 3) % 1024, i as u32);
+                m.read_at(pe, a, (i * 7) % 1024);
+            }
+        }
+        m.barrier();
+        m.dma_copy(0, a, 0, b, 512, 256, true);
+        m.barrier();
+        assert_eq!(m.audit(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn audit_catches_skipped_invalidation() {
+        let mut m = small_machine(4);
+        let a = m.alloc(256, Placement::Node(0), "a");
+        // PEs 1 and 2 read the line; PE 0's write invalidates them.
+        m.read_at(1, a, 0);
+        m.read_at(2, a, 0);
+        m.write_at(0, a, 0, 9);
+        assert!(m.audit().is_empty(), "protocol left a clean machine");
+        // A buggy protocol that skipped PE 1's invalidation would leave this
+        // exact state behind: a stale Shared copy the directory knows
+        // nothing about, coexisting with PE 0's Modified line.
+        m.inject_stale_sharer(1, a, 0);
+        let errs = m.audit();
+        assert!(
+            errs.iter().any(|e| e.contains("absent from sharer set")),
+            "audit must flag the stale sharer, got {errs:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "machine audit failed")]
+    fn section_audit_panics_on_corruption() {
+        let mut m = small_machine(2);
+        m.set_section_audit(true);
+        let a = m.alloc(256, Placement::Node(0), "a");
+        m.section("phase-1");
+        m.write_at(0, a, 0, 1);
+        m.inject_stale_sharer(1, a, 0);
+        m.section("phase-2"); // audit fires at the boundary
+    }
+
+    #[test]
+    fn section_audit_is_silent_on_healthy_runs() {
+        let mut m = small_machine(2);
+        m.set_section_audit(true);
+        let a = m.alloc(256, Placement::Node(0), "a");
+        m.section("phase-1");
+        m.write_at(0, a, 0, 1);
+        m.read_at(1, a, 0);
+        m.section("phase-2");
+        m.barrier();
+        assert!(m.audit().is_empty());
     }
 }

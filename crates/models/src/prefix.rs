@@ -202,6 +202,23 @@ mod tests {
     }
 
     #[test]
+    fn correct_for_non_power_of_two_process_counts() {
+        // Both checked-in regression seeds sat at odd p; sweep the full
+        // non-power-of-two range including one just under the machine size.
+        for p in [3, 5, 6, 7, 63] {
+            check_tree(p, 16);
+        }
+    }
+
+    #[test]
+    fn correct_for_non_power_of_two_bins() {
+        for bins in [1, 5, 12, 24, 63] {
+            check_tree(3, bins);
+            check_tree(8, bins);
+        }
+    }
+
+    #[test]
     fn correct_for_full_machine() {
         check_tree(64, 32);
     }

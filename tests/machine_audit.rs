@@ -1,0 +1,58 @@
+//! The machine-invariant auditor must catch deliberately injected protocol
+//! bugs — the audit layer's own acceptance test. `inject_stale_sharer`
+//! plants exactly the state a coherence bug that skips an invalidation
+//! would leave behind (a Shared copy the directory knows nothing about,
+//! coexisting with another processor's Modified line) and `Machine::audit`
+//! must flag it.
+
+use ccsort::algos::dist::{generate, Dist};
+use ccsort::algos::{radix, KEY_BITS};
+use ccsort::machine::{Machine, MachineConfig, Placement};
+
+#[test]
+fn audit_is_clean_after_a_real_sort() {
+    let n = 1 << 11;
+    let p = 4;
+    let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(256));
+    let a = m.alloc(n, Placement::Partitioned { parts: p }, "k0");
+    let b = m.alloc(n, Placement::Partitioned { parts: p }, "k1");
+    let input = generate(Dist::Stagger, n, p, 8, 0);
+    m.raw_mut(a).copy_from_slice(&input);
+    radix::ccsas::sort(&mut m, [a, b], n, 8, KEY_BITS);
+    assert_eq!(m.audit(), Vec::<String>::new());
+}
+
+#[test]
+fn audit_catches_injected_skipped_invalidation() {
+    let p = 4;
+    let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(256));
+    let a = m.alloc(256, Placement::Node(0), "a");
+    // PEs 1 and 2 share the line, then PE 0's write invalidates both.
+    m.read_at(1, a, 0);
+    m.read_at(2, a, 0);
+    m.write_at(0, a, 0, 7);
+    assert!(m.audit().is_empty(), "correct protocol leaves a clean machine");
+    // A protocol bug that skipped PE 2's invalidation leaves its stale
+    // Shared copy in place; the audit must see it.
+    m.inject_stale_sharer(2, a, 0);
+    let errs = m.audit();
+    assert!(!errs.is_empty(), "audit missed the injected coherence bug");
+    assert!(
+        errs.iter().any(|e| e.contains("absent from sharer set")),
+        "unexpected violation set: {errs:?}"
+    );
+}
+
+#[test]
+fn section_audit_mode_catches_corruption_at_phase_boundary() {
+    let mut m = Machine::new(MachineConfig::origin2000(2).scaled_down(256));
+    m.set_section_audit(true);
+    let a = m.alloc(256, Placement::Node(0), "a");
+    m.section("compute");
+    m.write_at(0, a, 0, 1);
+    m.inject_stale_sharer(1, a, 0);
+    let boundary = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        m.section("exchange");
+    }));
+    assert!(boundary.is_err(), "per-section audit must panic on the corrupted machine");
+}

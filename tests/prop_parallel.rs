@@ -100,6 +100,33 @@ proptest! {
     }
 
     #[test]
+    fn msg_radix_handles_non_power_of_two_p(
+        mut v in proptest::collection::vec(any::<u32>(), 64..2000),
+        p in prop::sample::select(vec![3usize, 5, 6, 7, 63]),
+        bits in prop::sample::select(vec![5u32, 7, 9, 11]),
+    ) {
+        // Both checked-in regression seeds sat at odd p; sweep the real
+        // threaded sorts across non-power-of-two process counts (and
+        // non-power-of-two digit widths, hence odd bin counts) too.
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort_msg(&mut v, p, bits);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn shmem_radix_handles_non_power_of_two_p(
+        mut v in proptest::collection::vec(any::<u32>(), 64..2000),
+        p in prop::sample::select(vec![3usize, 5, 6, 7, 63]),
+        bits in prop::sample::select(vec![5u32, 7, 9, 11]),
+    ) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort_shmem(&mut v, p, bits);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
     fn all_sorts_agree_pairwise(v in proptest::collection::vec(any::<u32>(), 0..3000)) {
         let mut a = v.clone();
         let mut b = v.clone();

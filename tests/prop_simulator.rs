@@ -1,11 +1,14 @@
 //! Property-based tests for the simulator stack: any (algorithm, size,
 //! processor count, radix, distribution) combination sorts correctly, time
 //! accounting is positive and consistent, and the machine's invariants
-//! hold.
+//! hold. Every generated case runs through the audit layer — the machine
+//! invariant auditor (`Machine::audit`) and the distribution validator
+//! (`ccsort_audit::validate_dist`) — not just output verification.
 
 use ccsort::algos::dist::{generate, Dist, MAX_KEY};
-use ccsort::algos::{run_experiment, Algorithm, ExpConfig};
+use ccsort::algos::{run_experiment_audited, Algorithm, ExpConfig};
 use ccsort::machine::{Machine, MachineConfig, Placement};
+use ccsort_audit::validate_dist;
 use proptest::prelude::*;
 
 fn arb_dist() -> impl Strategy<Value = Dist> {
@@ -30,7 +33,8 @@ proptest! {
     ) {
         let n = 1 << n_shift;
         let cfg = ExpConfig::new(alg, n, p).radix_bits(r).dist(dist).seed(seed).scale(256);
-        let res = run_experiment(&cfg);
+        let (res, violations) = run_experiment_audited(&cfg);
+        prop_assert!(violations.is_empty(), "{:?} machine audit: {:?}", cfg, violations);
         prop_assert!(res.verified, "{:?} produced unsorted output", cfg);
         prop_assert!(res.parallel_ns > 0.0);
         prop_assert_eq!(res.per_pe.len(), p);
@@ -54,6 +58,9 @@ proptest! {
         prop_assert_eq!(keys.len(), n);
         prop_assert!(keys.iter().all(|&k| (k as u64) < MAX_KEY));
         prop_assert_eq!(generate(dist, n, p, r, seed), keys);
+        // Shape properties: window permutations, digit locality, coverage.
+        let errs = validate_dist(dist, n, p, r, seed);
+        prop_assert!(errs.is_empty(), "distribution validator: {:?}", errs);
     }
 
     #[test]
@@ -119,8 +126,8 @@ proptest! {
                 m.read_at(pe, arr, idx);
             }
         }
-        let errs = m.check_coherence();
-        prop_assert!(errs.is_empty(), "coherence violations: {:?}", &errs[..errs.len().min(5)]);
+        let errs = m.audit();
+        prop_assert!(errs.is_empty(), "audit violations: {:?}", &errs[..errs.len().min(5)]);
     }
 
     /// DMA transfers must also leave the protocol state consistent.
@@ -137,8 +144,8 @@ proptest! {
             m.read_at(pe, a, off); // interleave coherent traffic
             m.write_at((pe + 1) % 4, b, off, 1);
         }
-        let errs = m.check_coherence();
-        prop_assert!(errs.is_empty(), "coherence violations: {:?}", &errs[..errs.len().min(5)]);
+        let errs = m.audit();
+        prop_assert!(errs.is_empty(), "audit violations: {:?}", &errs[..errs.len().min(5)]);
     }
 
     /// A full simulated sort leaves a consistent machine behind.
@@ -170,7 +177,7 @@ proptest! {
             Algorithm::SampleMpiDirect => { sample::mpi::sort(&mut m, MpiMode::Direct, [a, b], n, 8, KEY_BITS); }
             Algorithm::SampleShmem => { sample::shmem::sort(&mut m, [a, b], n, 8, KEY_BITS); }
         }
-        let errs = m.check_coherence();
-        prop_assert!(errs.is_empty(), "coherence violations after {alg:?}: {:?}", &errs[..errs.len().min(5)]);
+        let errs = m.audit();
+        prop_assert!(errs.is_empty(), "audit violations after {alg:?}: {:?}", &errs[..errs.len().min(5)]);
     }
 }
