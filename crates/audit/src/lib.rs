@@ -19,9 +19,10 @@
 //!   (`Machine::audit` and the opt-in per-`section()` audit mode); the
 //!   oracle turns it on for every run it makes.
 //!
-//! The `ccsort-audit` binary exposes the two entry points used by CI:
-//! `sweep [--quick]` over a parameter grid, and `replay …` for a single
-//! point reproduced from a failure artifact.
+//! The `ccsort-audit` binary exposes the entry points used by CI:
+//! `sweep [--quick]` over a parameter grid, `races` (= `sweep --races`)
+//! for the simulator-only happens-before race matrix, and `replay …` for
+//! a single point reproduced from a failure artifact.
 //!
 //! [`Dist`]: ccsort_algos::Dist
 
@@ -29,4 +30,4 @@ pub mod distcheck;
 pub mod oracle;
 
 pub use distcheck::validate_dist;
-pub use oracle::{audit_point, audit_threaded, Point};
+pub use oracle::{audit_point, audit_simulated, audit_threaded, Point};

@@ -1,25 +1,33 @@
 //! `ccsort-audit` — conformance sweeps and failure replay.
 //!
 //! ```text
-//! cargo run -p ccsort-audit -- sweep [--quick] [--seed S]
+//! cargo run -p ccsort-audit -- sweep [--quick] [--seed S] [--races]
+//! cargo run -p ccsort-audit -- races [--quick] [--seed S]
 //! cargo run -p ccsort-audit -- replay --alg NAME|all --dist NAME \
 //!     --n N --p P --r R --seed S [--scale K]
 //! ```
 //!
 //! `sweep` exits non-zero if any point fails; every failure line embeds the
-//! exact `replay` invocation that reproduces it.
+//! exact `replay` invocation that reproduces it. `races` (equivalently
+//! `sweep --races`) restricts the grid to the ten simulator programs and
+//! runs them with the happens-before race detector on, asserting every
+//! point is race-free — the simulator-only half of the sweep, so it skips
+//! the threaded sorts and the distribution validator.
 
-use ccsort_audit::{audit_point, validate_dist, Point};
+use ccsort_audit::{audit_point, audit_simulated, validate_dist, Point};
 use ccsort_algos::{Algorithm, Dist};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
+        Some("sweep") if args[1..].iter().any(|a| a == "--races") => races(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("races") => races(&args[1..]),
         Some("replay") => replay(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  ccsort-audit sweep [--quick] [--seed S]\n  \
+                "usage:\n  ccsort-audit sweep [--quick] [--seed S] [--races]\n  \
+                 ccsort-audit races [--quick] [--seed S]\n  \
                  ccsort-audit replay --alg NAME|all --dist NAME --n N --p P --r R --seed S [--scale K]"
             );
             2
@@ -81,6 +89,50 @@ fn sweep(args: &[String]) -> i32 {
 
     if failures.is_empty() {
         println!("sweep clean: {checked} points, all implementations agree, all invariants hold");
+        0
+    } else {
+        eprintln!("\n{} violation(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        1
+    }
+}
+
+/// The race matrix: every simulator program, every distribution, every
+/// processor count, with the happens-before detector on (it is part of
+/// `run_experiment_audited`, so [`audit_simulated`] already collects race
+/// reports as violations). Asserting zero races here is what lets the
+/// timing model trust its bulk-synchronous schedule: a racy program would
+/// still sort correctly under the deterministic interleaving, but its
+/// phase times would be fiction.
+fn races(args: &[String]) -> i32 {
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed: u64 = parse_or_exit(args, "--seed", Some(0));
+    let ps = [1usize, 3, 4, 7, 8, 16];
+    let points: Vec<(usize, u32, u64)> = if quick {
+        vec![(1 << 10, 6, seed)]
+    } else {
+        vec![(1 << 10, 6, seed), (1 << 12, 8, seed), (1 << 10, 6, seed.wrapping_add(271828))]
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for &(n, r, seed) in &points {
+        for &p in &ps {
+            for dist in Dist::ALL {
+                let pt = Point { dist, n, p, r, seed, scale: 256 };
+                let errs = audit_simulated(&pt, &Algorithm::ALL);
+                checked += 1;
+                let status = if errs.is_empty() { "ok" } else { "FAIL" };
+                println!("{status:>4}  {} n={n} p={p} r={r} seed={seed}", dist.name());
+                failures.extend(errs);
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("race sweep clean: {checked} points, all simulator programs race-free");
         0
     } else {
         eprintln!("\n{} violation(s):", failures.len());

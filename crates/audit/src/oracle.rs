@@ -119,7 +119,8 @@ pub fn audit_threaded(pt: &Point) -> Vec<String> {
 
     let p = pt.p;
     let r = pt.r;
-    let runs: Vec<(&str, Box<dyn Fn(&mut Vec<u32>) + Send>)> = vec![
+    type NamedSort = (&'static str, Box<dyn Fn(&mut Vec<u32>) + Send>);
+    let runs: Vec<NamedSort> = vec![
         (
             "par-radix",
             Box::new(move |v: &mut Vec<u32>| {

@@ -87,7 +87,7 @@ fn main() {
         opts = RunnerOpts::quick();
         opts.verbose = v;
     }
-    assert!(opts.procs.iter().all(|&p| p >= 1 && p <= 64), "processor counts must be in 1..=64");
+    assert!(opts.procs.iter().all(|&p| (1..=64).contains(&p)), "processor counts must be in 1..=64");
 
     println!(
         "# machine: Origin 2000 preset; per-size scale = label/{} (min 1); sizes {:?}; procs {:?}",

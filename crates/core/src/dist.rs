@@ -284,8 +284,8 @@ mod tests {
             x = (x * 513) & ((1 << 46) - 1);
             raws.push(x);
         }
-        let expect0 = ((raws[0] + raws[1] + raws[2] + raws[3]) / 4 >> 15) as u32;
-        let expect1 = ((raws[4] + raws[5] + raws[6] + raws[7]) / 4 >> 15) as u32;
+        let expect0 = (((raws[0] + raws[1] + raws[2] + raws[3]) / 4) >> 15) as u32;
+        let expect1 = (((raws[4] + raws[5] + raws[6] + raws[7]) / 4) >> 15) as u32;
         let keys = generate(Dist::Gauss, 4, 1, R, 0);
         assert_eq!(keys[0], expect0);
         assert_eq!(keys[1], expect1);

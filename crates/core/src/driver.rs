@@ -103,6 +103,14 @@ pub struct ExpConfig {
     /// initialisation, so its first-pass reads are warm-ish; cold is the
     /// conservative default here).
     pub warm_caches: bool,
+    /// Fault injection for the race-detector tests: skip the happens-before
+    /// edge of the `k`-th global barrier (1-based) of the audited run. The
+    /// barrier's timing is untouched — output and measurements are identical
+    /// — but the detector sees the missing edge, exactly as if the program
+    /// had forgotten that barrier. Only honoured by
+    /// [`run_experiment_audited`] (the plain path has no detector).
+    #[serde(default)]
+    pub inject_missing_barrier: Option<usize>,
 }
 
 impl ExpConfig {
@@ -118,6 +126,7 @@ impl ExpConfig {
             page_mult: 1,
             sampling: SamplingStrategy::default(),
             warm_caches: false,
+            inject_missing_barrier: None,
         }
     }
 
@@ -153,6 +162,11 @@ impl ExpConfig {
 
     pub fn warm_caches(mut self, warm: bool) -> Self {
         self.warm_caches = warm;
+        self
+    }
+
+    pub fn inject_missing_barrier(mut self, nth: usize) -> Self {
+        self.inject_missing_barrier = Some(nth);
         self
     }
 
@@ -227,10 +241,13 @@ pub fn run_experiment(cfg: &ExpConfig) -> ExpResult {
 /// Like [`run_experiment`], but with the machine-invariant audit enabled:
 /// [`ccsort_machine::Machine::audit`] runs at every program `section()`
 /// boundary (panicking on protocol bugs mid-run) and once more after the
-/// sort; the final audit's violations are returned alongside the result.
-/// An empty list means every coherence, time-accounting and capacity
-/// invariant held. Slower than [`run_experiment`] — meant for the
-/// conformance tooling and tests, not timing sweeps.
+/// sort, and the happens-before race detector
+/// ([`ccsort_machine::RaceDetector`]) checks every timed access against the
+/// program's synchronization; the final audit's violations — including one
+/// line per detected race class — are returned alongside the result. An
+/// empty list means every coherence, time-accounting, capacity and
+/// synchronization invariant held. Slower than [`run_experiment`] — meant
+/// for the conformance tooling and tests, not timing sweeps.
 pub fn run_experiment_audited(cfg: &ExpConfig) -> (ExpResult, Vec<String>) {
     execute(cfg, true)
 }
@@ -238,6 +255,12 @@ pub fn run_experiment_audited(cfg: &ExpConfig) -> (ExpResult, Vec<String>) {
 fn execute(cfg: &ExpConfig, audit: bool) -> (ExpResult, Vec<String>) {
     let mut m = Machine::new(cfg.machine_config());
     m.set_section_audit(audit);
+    m.set_race_detector(audit);
+    if audit {
+        if let Some(nth) = cfg.inject_missing_barrier {
+            m.inject_missing_barrier(nth);
+        }
+    }
     let n = cfg.n;
     let p = cfg.p;
     let r = cfg.radix_bits;
@@ -248,12 +271,17 @@ fn execute(cfg: &ExpConfig, audit: bool) -> (ExpResult, Vec<String>) {
 
     if cfg.warm_caches {
         // Each process streams over its own partition (the state
-        // initialisation would leave behind), then statistics reset.
+        // initialisation would leave behind), then statistics reset. The
+        // barrier orders the warm-up reads before the sort for the race
+        // detector (initialisation is sequential on the real machine too);
+        // its time charges are zeroed by the reset, so measurements are
+        // unchanged.
         for pe in 0..p {
             let range = crate::common::part_range(n, p, pe);
             let mut buf = vec![0u32; range.len()];
             m.read_run(pe, a, range.start, &mut buf);
         }
+        m.barrier();
         m.reset_stats();
     }
 
@@ -295,7 +323,14 @@ fn execute(cfg: &ExpConfig, audit: bool) -> (ExpResult, Vec<String>) {
     let mut expect = input;
     expect.sort_unstable();
     let verified = m.raw(out) == &expect[..];
-    let violations = if audit { m.audit() } else { Vec::new() };
+    let mut violations = if audit { m.audit() } else { Vec::new() };
+    violations.extend(m.race_reports().iter().map(|race| race.to_string()));
+    if m.race_suppressed() > 0 {
+        violations.push(format!(
+            "{} further racy access(es) in already-reported classes",
+            m.race_suppressed()
+        ));
+    }
 
     let res = ExpResult {
         algorithm: cfg.algorithm,

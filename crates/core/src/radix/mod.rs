@@ -39,9 +39,9 @@ pub fn global_offsets(hists: &[Vec<u32>]) -> Vec<Vec<u32>> {
     let mut out = vec![vec![0u32; bins]; p];
     let mut running = scan;
     for pe in 0..p {
-        for d in 0..bins {
-            out[pe][d] = running[d];
-            running[d] += hists[pe][d];
+        out[pe].copy_from_slice(&running);
+        for (r, &c) in running.iter_mut().zip(&hists[pe]) {
+            *r += c;
         }
     }
     out

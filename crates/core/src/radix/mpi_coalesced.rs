@@ -143,7 +143,7 @@ pub fn sort(
                     // of interleaved digits destined elsewhere) — the send
                     // shipped a contiguous run, so re-place per piece from
                     // its true stage position.
-                    m.copy_untimed(stage, piece.src_delta, recv_buf, buf_off, piece.len);
+                    m.copy_untimed(pe, stage, piece.src_delta, recv_buf, buf_off, piece.len);
                     landing[j].push((buf_off, piece.dst_off, piece.len));
                     buf_off += piece.len;
                 }

@@ -28,7 +28,7 @@ impl CacheGeom {
     pub fn sets(&self) -> usize {
         assert!(self.line.is_power_of_two(), "line size must be a power of two");
         let lines = self.size / self.line;
-        assert!(lines % self.assoc == 0, "capacity must be a whole number of ways");
+        assert!(lines.is_multiple_of(self.assoc), "capacity must be a whole number of ways");
         let sets = lines / self.assoc;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
@@ -148,12 +148,20 @@ pub struct MachineConfig {
     /// their costs must be divided by denom to keep the same weight
     /// relative to the Θ(n) work that the paper measured.
     pub fixed_cost_div: f64,
+
+    /// Enable the FastTrack happens-before race detector
+    /// ([`crate::RaceDetector`]): every timed access is checked against the
+    /// happens-before order built from the program's barriers and message
+    /// completions. Off by default — the audited paths (driver audits, the
+    /// conformance oracle) turn it on; timing runs keep the hot path free.
+    #[serde(default)]
+    pub race_detector: bool,
 }
 
 impl MachineConfig {
     /// The SGI Origin 2000 used in the paper, at full scale.
     pub fn origin2000(n_procs: usize) -> Self {
-        assert!(n_procs >= 1 && n_procs <= 64, "1..=64 processors supported");
+        assert!((1..=64).contains(&n_procs), "1..=64 processors supported");
         MachineConfig {
             n_procs,
             procs_per_node: 2,
@@ -186,6 +194,7 @@ impl MachineConfig {
             rho_cap: 0.95,
             physical_cache_indexing: true,
             fixed_cost_div: 1.0,
+            race_detector: false,
         }
     }
 

@@ -37,6 +37,7 @@ pub mod contention;
 pub mod directory;
 pub mod machine;
 pub mod memory;
+pub mod race;
 pub mod stats;
 pub mod tlb;
 pub mod topology;
@@ -44,5 +45,6 @@ pub mod topology;
 pub use config::{CacheGeom, MachineConfig};
 pub use machine::{Machine, Pattern};
 pub use memory::{ArrayId, Placement};
+pub use race::{MsgToken, RaceDetector, RaceKind, RaceReport};
 pub use stats::{Bucket, EventCounters, TimeBreakdown};
 pub use topology::Topology;

@@ -14,6 +14,7 @@ use crate::config::MachineConfig;
 use crate::contention::PhaseTraffic;
 use crate::directory::{Directory, DirState};
 use crate::memory::{AddressSpace, ArrayId, Placement};
+use crate::race::{MsgToken, RaceDetector, RaceReport};
 use crate::stats::{Bucket, EventCounters, TimeBreakdown};
 use crate::tlb::Tlb;
 use crate::topology::Topology;
@@ -77,6 +78,9 @@ pub struct Machine {
     /// boundary and panics on the first violation (opt-in; see
     /// [`Machine::set_section_audit`]).
     section_audit: bool,
+    /// Happens-before race detector; `None` keeps every access path free of
+    /// detector work (see `MachineConfig::race_detector`).
+    race: Option<RaceDetector>,
 }
 
 impl Machine {
@@ -117,6 +121,7 @@ impl Machine {
             sections: vec![("(untagged)", vec![TimeBreakdown::default(); n_procs])],
             cur_section: 0,
             section_audit: false,
+            race: if cfg.race_detector { Some(RaceDetector::new(n_procs)) } else { None },
             cfg,
             topo,
             mem,
@@ -168,11 +173,54 @@ impl Machine {
         self.mem.slice_mut(arr, 0..n)
     }
 
-    /// Un-timed data copy between arrays. For runtime internals that charge
-    /// the time of the copy separately (e.g. a staged MPI receive charges
-    /// `touch_run` + busy cycles and then moves the bytes with this).
-    pub fn copy_untimed(&mut self, src: ArrayId, src_off: usize, dst: ArrayId, dst_off: usize, len: usize) {
+    /// Un-timed data copy between arrays, initiated by `pe`. For runtime
+    /// internals that charge the time of the copy separately (e.g. a staged
+    /// MPI receive charges `touch_run` + busy cycles and then moves the
+    /// bytes with this) and for the un-timed tails of fixed-cost-scaled
+    /// structure traversals (`*_fixed` in `ccsort-models`).
+    ///
+    /// Although no time is charged, the copy does mutate the backing store,
+    /// so any *other* processor's cached copy of a destination line becomes
+    /// stale — a later timed read there would be accounted as a hit while
+    /// returning data the modelled hardware could never have delivered to
+    /// that cache. To keep the coherence state honest this invalidates every
+    /// destination-line copy cached by a processor other than `pe` (the
+    /// initiator's own copy stays: `pe` performed the writes, so its cache
+    /// holding the line in Modified state is exactly right). No traffic or
+    /// latency is charged — at the runtime call sites the same ranges are
+    /// covered by timed protocol operations (`touch_run`/`dma_copy`) and no
+    /// foreign copies exist; this is a safety net for the scaled-model tails
+    /// where boundary lines can linger in other caches from earlier phases.
+    ///
+    /// The race detector deliberately does *not* treat this as an access:
+    /// like `raw`/`raw_mut` it is simulator staging, and the program-level
+    /// access it stands in for is always covered by a timed operation on the
+    /// same range (or, for `*_fixed` tails, by the timed prefix that
+    /// represents the whole traversal under fixed-cost scaling).
+    pub fn copy_untimed(
+        &mut self,
+        pe: usize,
+        src: ArrayId,
+        src_off: usize,
+        dst: ArrayId,
+        dst_off: usize,
+        len: usize,
+    ) {
+        if len == 0 {
+            return;
+        }
         self.mem.copy(src, src_off, dst, dst_off, len);
+        let d_first = self.mem.addr_of(dst, dst_off) >> self.line_shift;
+        let d_last = self.mem.addr_of(dst, dst_off + len - 1) >> self.line_shift;
+        for line in d_first..=d_last {
+            let mut others = self.dir.sharers(line) & !(1u64 << pe);
+            while others != 0 {
+                let other = others.trailing_zeros() as usize;
+                others &= others - 1;
+                self.pes[other].invalidate_all(line);
+                self.dir.remove_sharer(line, other);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -283,9 +331,19 @@ impl Machine {
     // Coherent loads and stores
     // ------------------------------------------------------------------
 
+    /// Feed a timed range access to the race detector (no-op when off).
+    #[inline]
+    fn race_access(&mut self, pe: usize, arr: ArrayId, off: usize, n: usize, write: bool) {
+        if let Some(det) = self.race.as_mut() {
+            let section = self.sections[self.cur_section].0;
+            det.range_access(pe, arr.0, self.mem.len(arr), self.mem.name(arr), off, n, write, section);
+        }
+    }
+
     /// Timed scattered read of one element.
     #[inline]
     pub fn read_at(&mut self, pe: usize, arr: ArrayId, idx: usize) -> u32 {
+        self.race_access(pe, arr, idx, 1, false);
         let addr = self.mem.addr_of(arr, idx);
         self.touch_line(pe, addr >> self.line_shift, false, Pattern::Scattered);
         self.mem.get(arr, idx)
@@ -294,6 +352,7 @@ impl Machine {
     /// Timed scattered write of one element.
     #[inline]
     pub fn write_at(&mut self, pe: usize, arr: ArrayId, idx: usize, v: u32) {
+        self.race_access(pe, arr, idx, 1, true);
         let addr = self.mem.addr_of(arr, idx);
         self.touch_line(pe, addr >> self.line_shift, true, Pattern::Scattered);
         self.mem.set(arr, idx, v);
@@ -302,6 +361,7 @@ impl Machine {
     /// Timed read with an explicit access pattern.
     #[inline]
     pub fn read_pat(&mut self, pe: usize, arr: ArrayId, idx: usize, pat: Pattern) -> u32 {
+        self.race_access(pe, arr, idx, 1, false);
         let addr = self.mem.addr_of(arr, idx);
         self.touch_line(pe, addr >> self.line_shift, false, pat);
         self.mem.get(arr, idx)
@@ -310,6 +370,7 @@ impl Machine {
     /// Timed write with an explicit access pattern.
     #[inline]
     pub fn write_pat(&mut self, pe: usize, arr: ArrayId, idx: usize, v: u32, pat: Pattern) {
+        self.race_access(pe, arr, idx, 1, true);
         let addr = self.mem.addr_of(arr, idx);
         self.touch_line(pe, addr >> self.line_shift, true, pat);
         self.mem.set(arr, idx, v);
@@ -341,6 +402,7 @@ impl Machine {
         if len == 0 {
             return;
         }
+        self.race_access(pe, arr, off, len, write);
         let first = self.mem.addr_of(arr, off) >> self.line_shift;
         let last = self.mem.addr_of(arr, off + len - 1) >> self.line_shift;
         for line in first..=last {
@@ -567,6 +629,8 @@ impl Machine {
         if len == 0 {
             return 0.0;
         }
+        self.race_access(pe, src, src_off, len, false);
+        self.race_access(pe, dst, dst_off, len, true);
         self.mem.copy(src, src_off, dst, dst_off, len);
         let bytes = (len * 4) as f64;
 
@@ -671,6 +735,9 @@ impl Machine {
     /// the maximum and charge the waiting time (plus the barrier's own cost)
     /// as SYNC.
     pub fn barrier(&mut self) {
+        if let Some(det) = self.race.as_mut() {
+            det.barrier();
+        }
         self.resolve_phase();
         let t_max = (0..self.cfg.n_procs).map(|pe| self.pes[pe].time).fold(0.0_f64, f64::max);
         let levels = (self.cfg.n_procs.max(2) as f64).log2().ceil();
@@ -685,6 +752,9 @@ impl Machine {
     /// Align a subset of processors (used by group-local synchronization in
     /// sample sort). Does not resolve global contention.
     pub fn barrier_subset(&mut self, pes: &[usize]) {
+        if let Some(det) = self.race.as_mut() {
+            det.barrier_subset(pes);
+        }
         let t_max = pes.iter().map(|&pe| self.pes[pe].time).fold(0.0_f64, f64::max);
         let levels = (pes.len().max(2) as f64).log2().ceil();
         let cost = self.cfg.barrier_base_ns + 2.0 * levels * self.cfg.barrier_level_ns;
@@ -696,10 +766,31 @@ impl Machine {
 
     /// Make `pe` wait until at least time `t` (message arrival, rendezvous);
     /// waiting time is SYNC.
+    ///
+    /// Deliberately *not* a happens-before edge: waiting for a virtual
+    /// timestamp orders clocks, not memory. The memory edge a completed
+    /// message provides is modelled explicitly — the producer calls
+    /// [`Machine::hb_release`] when the data is in place and the consumer
+    /// joins the token with [`Machine::hb_acquire`].
     pub fn wait_until(&mut self, pe: usize, t: f64) {
         let now = self.pes[pe].time;
         if t > now {
             self.charge(pe, t - now, Bucket::Sync);
+        }
+    }
+
+    /// Release half of a message edge: snapshot `pe`'s happens-before state
+    /// into a token the consumer can [`Machine::hb_acquire`]. Free (and the
+    /// token empty) when the race detector is off.
+    pub fn hb_release(&mut self, pe: usize) -> MsgToken {
+        MsgToken(self.race.as_mut().map(|det| det.release(pe)))
+    }
+
+    /// Acquire half of a message edge: order everything the producer did
+    /// before its [`Machine::hb_release`] before `pe`'s subsequent accesses.
+    pub fn hb_acquire(&mut self, pe: usize, token: &MsgToken) {
+        if let (Some(det), Some(clock)) = (self.race.as_mut(), token.0.as_deref()) {
+            det.acquire(pe, clock);
         }
     }
 
@@ -753,13 +844,12 @@ impl Machine {
                             ));
                         }
                     }
-                    Some(LineState::Shared) => {
-                        if self.dir.sharers(line) & (1 << pe) == 0 {
+                    Some(LineState::Shared)
+                        if self.dir.sharers(line) & (1 << pe) == 0 => {
                             errs.push(format!(
                                 "line {line}: cached Shared by pe {pe} but absent from sharer set"
                             ));
                         }
-                    }
                     _ => {}
                 }
             }
@@ -881,6 +971,50 @@ impl Machine {
     pub fn inject_stale_sharer(&mut self, pe: usize, arr: ArrayId, idx: usize) {
         let line = self.mem.addr_of(arr, idx) >> self.line_shift;
         self.pes[pe].cache.install(line, LineState::Shared);
+    }
+
+    /// Turn the happens-before race detector on or off mid-run. Turning it
+    /// on starts from an empty happens-before history (all prior accesses
+    /// are forgotten); turning it off discards any collected reports.
+    pub fn set_race_detector(&mut self, on: bool) {
+        if on {
+            if self.race.is_none() {
+                self.race = Some(RaceDetector::new(self.cfg.n_procs));
+            }
+        } else {
+            self.race = None;
+        }
+    }
+
+    /// Whether the race detector is currently on.
+    pub fn race_detector_on(&self) -> bool {
+        self.race.is_some()
+    }
+
+    /// Races detected so far (empty when the detector is off). One report is
+    /// recorded per (kind, PE pair, array) class; see
+    /// [`Machine::race_suppressed`] for the overflow count.
+    pub fn race_reports(&self) -> &[RaceReport] {
+        self.race.as_ref().map(|det| det.reports()).unwrap_or(&[])
+    }
+
+    /// Racy accesses beyond the recorded reports.
+    pub fn race_suppressed(&self) -> u64 {
+        self.race.as_ref().map(|det| det.suppressed()).unwrap_or(0)
+    }
+
+    /// Deliberately skip the happens-before edge of the `nth` subsequent
+    /// global barrier (1-based) — the *timing* side of that barrier is
+    /// untouched, so the run's measurements and output are identical; only
+    /// the detector sees the missing edge. Mirrors
+    /// [`Machine::inject_stale_sharer`]: exists so tests can prove the race
+    /// detector fires on a planted missing-barrier bug. Panics if the
+    /// detector is off.
+    pub fn inject_missing_barrier(&mut self, nth: usize) {
+        self.race
+            .as_mut()
+            .expect("inject_missing_barrier requires the race detector to be on")
+            .inject_missing_barrier(nth);
     }
 
     /// Sum of the per-processor breakdowns.

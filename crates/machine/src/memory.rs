@@ -149,6 +149,12 @@ impl AddressSpace {
         self.arrays[arr.0].data.len()
     }
 
+    /// Program-visible name of an array (as passed to [`AddressSpace::alloc`]).
+    #[inline]
+    pub fn name(&self, arr: ArrayId) -> &'static str {
+        self.arrays[arr.0].name
+    }
+
     /// True if the array has no elements.
     pub fn is_empty(&self, arr: ArrayId) -> bool {
         self.len(arr) == 0
@@ -317,7 +323,7 @@ mod proptests {
                     prop_assert_eq!(s.home_of(addr), s.home_of_line(line));
                     prop_assert!(s.home_of(addr) < topo.n_nodes());
                     prop_assert!(line < s.total_lines());
-                    prop_assert_eq!(s.page_of(addr), (addr >> cfg.page_shift()));
+                    prop_assert_eq!(s.page_of(addr), addr >> cfg.page_shift());
                 }
             }
             // Arrays never overlap: last address of one < first of the next.

@@ -79,7 +79,7 @@ pub fn cpu_copy(
     m.touch_run(pe, src, src_off, len, false);
     m.touch_run(pe, dst, dst_off, len, true);
     m.busy_cycles(pe, cyc_per_elem * len as f64);
-    m.copy_untimed(src, src_off, dst, dst_off, len);
+    m.copy_untimed(pe, src, src_off, dst, dst_off, len);
 }
 
 /// Timed scattered read helper used where a program reads a handful of
@@ -135,7 +135,7 @@ pub fn cpu_copy_fixed(
     let k = m.fixed_prefix(len);
     cpu_copy(m, pe, src, src_off, dst, dst_off, k, cyc_per_elem);
     if len > k {
-        m.copy_untimed(src, src_off + k, dst, dst_off + k, len - k);
+        m.copy_untimed(pe, src, src_off + k, dst, dst_off + k, len - k);
     }
 }
 

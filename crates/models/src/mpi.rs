@@ -19,7 +19,7 @@
 //! destination per pass, so this stall is exactly MPI's extra SYNC time in
 //! Figure 4(c); sample sort sends one message per pair and never stalls.
 
-use ccsort_machine::{ArrayId, Bucket, Machine, Placement};
+use ccsort_machine::{ArrayId, Bucket, Machine, MsgToken, Placement};
 
 use crate::cpu_copy;
 
@@ -42,6 +42,10 @@ struct Pending {
     bounce_off: Option<usize>,
     dst_arr: ArrayId,
     dst_off: usize,
+    /// Happens-before edge from the sender: released once the payload is in
+    /// place, acquired by the receiver's drain. Empty unless the machine's
+    /// race detector is on.
+    token: MsgToken,
 }
 
 /// The message-passing runtime. One instance serves all ranks.
@@ -181,6 +185,10 @@ impl Mpi {
             bounce_off,
             dst_arr,
             dst_off,
+            // The payload (direct destination or bounce buffer) is in place:
+            // everything the sender did up to here happens-before whatever
+            // the receiver does after completing this message in `drain`.
+            token: m.hb_release(src_pe),
         });
     }
 
@@ -193,6 +201,7 @@ impl Mpi {
         let recv_ov = m.cfg().mpi_recv_overhead_ns;
         for msg in msgs {
             m.wait_until(pe, msg.arrival);
+            m.hb_acquire(pe, &msg.token);
             m.charge(pe, recv_ov, Bucket::Rmem);
             if let Some(off) = msg.bounce_off {
                 cpu_copy(m, pe, self.bounce[pe], off, msg.dst_arr, msg.dst_off, msg.len, self.staged_copy_cyc);
@@ -240,7 +249,7 @@ impl Mpi {
                 let t = m.dma_copy(pe, src_arr, src_off, dst, j * len, k, true);
                 m.charge(pe, t, Bucket::Rmem);
                 if len > k {
-                    m.copy_untimed(src_arr, src_off + k, dst, j * len + k, len - k);
+                    m.copy_untimed(pe, src_arr, src_off + k, dst, j * len + k, len - k);
                 }
                 m.count_message(pe, len * 4);
             }

@@ -245,7 +245,7 @@ mod tests {
         let tree = PrefixTree::new(&mut m, p, 8);
         for round in 0..3u32 {
             for pe in 0..p {
-                tree.set_local(&mut m, pe, &vec![round + pe as u32; 8]);
+                tree.set_local(&mut m, pe, &[round + pe as u32; 8]);
             }
             tree.accumulate(&mut m);
             let mut tot = vec![0u32; 8];

@@ -129,7 +129,7 @@ impl Shmem {
                 let k = m.fixed_prefix(len);
                 self.get(m, pe, dst, j * len, src_arr, src_off, k);
                 if len > k {
-                    m.copy_untimed(src_arr, src_off + k, dst, j * len + k, len - k);
+                    m.copy_untimed(pe, src_arr, src_off + k, dst, j * len + k, len - k);
                 }
             }
         }

@@ -77,7 +77,7 @@ mod tests {
         for (shift, bits) in [(0u32, 8u32), (8, 8), (24, 8), (0, 11)] {
             let par = par_digit_histogram(&keys, shift, bits);
             let mut ser = vec![0usize; 1 << bits];
-            let mask = ((1u64 << bits) - 1) as u64;
+            let mask = (1u64 << bits) - 1;
             for k in &keys {
                 ser[((*k as u64) >> shift & mask) as usize] += 1;
             }

@@ -17,7 +17,7 @@ pub fn passes_for<K: RadixKey>(radix_bits: u32) -> u32 {
 /// provided scratch buffer (`scratch.len() == keys.len()`). After return the
 /// sorted data is in `keys`.
 pub fn radix_sort_with_scratch<K: RadixKey>(keys: &mut [K], scratch: &mut [K], radix_bits: u32) {
-    assert!(radix_bits >= 1 && radix_bits <= 16, "radix_bits out of range");
+    assert!((1..=16).contains(&radix_bits), "radix_bits out of range");
     assert_eq!(keys.len(), scratch.len());
     if keys.len() <= 1 {
         return;

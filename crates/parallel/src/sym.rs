@@ -10,9 +10,28 @@
 //! epoch. The radix sort here is the paper's SHMEM program: publish
 //! histograms, collect them, permute locally into a staged region, then
 //! *receiver-initiated* `get`s pull each chunk into place.
+//!
+//! ## Debug-build epoch-protocol checker
+//!
+//! The aliasing contract above is exactly what each `unsafe` block's
+//! SAFETY comment argues — and comments don't fail tests. In debug builds
+//! the heap therefore *checks* the contract: every `local`/`local_mut`/
+//! `get`/`put` records an access claim `(pe, segment, range, read|write)`
+//! in a shared log, each new claim is checked for an overlap with another
+//! PE's claim on the same segment where either side writes, and
+//! [`Pe::barrier`] clears the log (the epoch boundary). A violation —
+//! e.g. a `get` from a segment its owner is mutating in the same epoch —
+//! panics with both parties named, instead of being silent UB. Release
+//! builds compile all of it away. (A model checker exploring thread
+//! interleavings would be stronger still, but the bulk-synchronous
+//! discipline makes the per-epoch claim-set interleaving-independent:
+//! whatever order threads reach the log, the same claims meet the same
+//! epoch, so this check is exhaustive for the property it states.)
 
 use std::cell::UnsafeCell;
 use std::sync::{Arc, Barrier};
+#[cfg(debug_assertions)]
+use std::sync::Mutex;
 
 use crate::key::RadixKey;
 use crate::seq::passes_for;
@@ -25,11 +44,27 @@ struct Segment<K> {
 // `put`/`get`/`local_mut` APIs carry the aliasing contract.
 unsafe impl<K: Send> Sync for Segment<K> {}
 
+/// One access claim of the debug-build epoch checker: `pe` accessed
+/// `[lo, hi)` of `seg`'s segment this epoch, through `op`.
+#[cfg(debug_assertions)]
+#[derive(Debug, Clone, Copy)]
+struct Claim {
+    pe: usize,
+    seg: usize,
+    lo: usize,
+    hi: usize,
+    write: bool,
+    op: &'static str,
+}
+
 /// The symmetric heap: one equally-sized segment per PE.
 pub struct SymHeap<K> {
     segs: Vec<Segment<K>>,
     seg_len: usize,
     barrier: Barrier,
+    /// Per-epoch access claims (debug builds only; see the module docs).
+    #[cfg(debug_assertions)]
+    claims: Mutex<Vec<Claim>>,
 }
 
 impl<K: RadixKey + Default> SymHeap<K> {
@@ -40,7 +75,32 @@ impl<K: RadixKey + Default> SymHeap<K> {
             segs: (0..npes).map(|_| Segment { data: UnsafeCell::new(vec![K::default(); seg_len]) }).collect(),
             seg_len,
             barrier: Barrier::new(npes),
+            #[cfg(debug_assertions)]
+            claims: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Record one epoch claim and panic on a conflict with an existing one
+    /// (debug builds; the release build has no checker and no log).
+    #[cfg(debug_assertions)]
+    fn record_claim(&self, claim: Claim) {
+        let mut log = self.claims.lock().unwrap();
+        for prev in log.iter() {
+            if prev.seg == claim.seg
+                && prev.pe != claim.pe
+                && (prev.write || claim.write)
+                && prev.lo < claim.hi
+                && claim.lo < prev.hi
+            {
+                panic!(
+                    "symmetric-heap epoch protocol violated on segment {}: \
+                     pe {} {} [{}, {}) and pe {} {} [{}, {}) in the same barrier epoch",
+                    claim.seg, prev.pe, prev.op, prev.lo, prev.hi, claim.pe, claim.op, claim.lo,
+                    claim.hi
+                );
+            }
+        }
+        log.push(claim);
     }
 
     /// Number of PEs.
@@ -94,6 +154,17 @@ impl<K: RadixKey + Default> Pe<K> {
 
     /// Barrier across all PEs (the epoch boundary of the aliasing rules).
     pub fn barrier(&self) {
+        #[cfg(debug_assertions)]
+        {
+            // Two waits so the leader can clear the claim log while every
+            // other thread is parked between them: no claim of the new
+            // epoch can be recorded before the old ones are gone.
+            if self.heap.barrier.wait().is_leader() {
+                self.heap.claims.lock().unwrap().clear();
+            }
+            self.heap.barrier.wait();
+        }
+        #[cfg(not(debug_assertions))]
         self.heap.barrier.wait();
     }
 
@@ -103,10 +174,40 @@ impl<K: RadixKey + Default> Pe<K> {
     ///
     /// Within the current barrier epoch, no other PE may `get` from or
     /// `put` into any part of this segment that is accessed through the
-    /// returned slice.
+    /// returned slice. (Debug builds check the stronger whole-segment
+    /// claim: use [`Pe::local`] in epochs that only read.)
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn local_mut(&self) -> &mut [K] {
+        #[cfg(debug_assertions)]
+        self.heap.record_claim(Claim {
+            pe: self.pe,
+            seg: self.pe,
+            lo: 0,
+            hi: self.heap.seg_len,
+            write: true,
+            op: "local_mut",
+        });
         unsafe { &mut *self.heap.segs[self.pe].data.get() }
+    }
+
+    /// Shared view of this PE's own segment, for epochs that only read it
+    /// (remote PEs may concurrently `get` from it).
+    ///
+    /// # Safety
+    ///
+    /// Within the current barrier epoch, no PE may `put` into this
+    /// segment, and this PE must not hold a live [`Pe::local_mut`] borrow.
+    pub unsafe fn local(&self) -> &[K] {
+        #[cfg(debug_assertions)]
+        self.heap.record_claim(Claim {
+            pe: self.pe,
+            seg: self.pe,
+            lo: 0,
+            hi: self.heap.seg_len,
+            write: false,
+            op: "local",
+        });
+        unsafe { &*self.heap.segs[self.pe].data.get() }
     }
 
     /// One-sided `get`: copy `dst.len()` elements from `(src_pe, src_off)`
@@ -118,6 +219,15 @@ impl<K: RadixKey + Default> Pe<K> {
     /// `[src_off, src_off + dst.len())` of `src_pe`'s segment in the
     /// current barrier epoch.
     pub unsafe fn get(&self, dst: &mut [K], src_pe: usize, src_off: usize) {
+        #[cfg(debug_assertions)]
+        self.heap.record_claim(Claim {
+            pe: self.pe,
+            seg: src_pe,
+            lo: src_off,
+            hi: src_off + dst.len(),
+            write: false,
+            op: "get",
+        });
         let src = unsafe { &*self.heap.segs[src_pe].data.get() };
         dst.copy_from_slice(&src[src_off..src_off + dst.len()]);
     }
@@ -130,6 +240,15 @@ impl<K: RadixKey + Default> Pe<K> {
     /// `dst_pe`'s segment in the current barrier epoch, other than through
     /// this call.
     pub unsafe fn put(&self, src: &[K], dst_pe: usize, dst_off: usize) {
+        #[cfg(debug_assertions)]
+        self.heap.record_claim(Claim {
+            pe: self.pe,
+            seg: dst_pe,
+            lo: dst_off,
+            hi: dst_off + src.len(),
+            write: true,
+            op: "put",
+        });
         let dst = unsafe { &mut *self.heap.segs[dst_pe].data.get() };
         dst[dst_off..dst_off + src.len()].copy_from_slice(src);
     }
@@ -181,7 +300,7 @@ pub fn radix_sort_shmem<K: RadixKey + Default + Send>(keys: &mut [K], p: usize, 
             // Phase 1: local histogram, published to the table.
             let mut hist = vec![0usize; bins];
             // SAFETY: reading our own keys region; nobody writes it this epoch.
-            let local = unsafe { ctx.local_mut() };
+            let local = unsafe { ctx.local() };
             for k in &local[..len] {
                 hist[k.digit(shift, mask)] += 1;
             }
@@ -341,6 +460,66 @@ mod tests {
         assert!(same.iter().all(|&x| x == 5));
     }
 
+    // The epoch-protocol checker's own acceptance tests: the aliasing
+    // contract the unsafe API documents must be enforced, not just argued,
+    // in debug builds. (The checker compiles away in release, so these
+    // only exist where it exists.)
+    #[cfg(debug_assertions)]
+    mod checker {
+        use super::*;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        #[test]
+        fn catches_get_during_remote_mutation() {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let heap: Arc<SymHeap<u32>> = Arc::new(SymHeap::new(2, 64));
+                heap.run(|ctx| {
+                    // The bug this simulates: PE 1 pulls from PE 0's
+                    // segment with no barrier after PE 0's writes.
+                    if ctx.pe() == 0 {
+                        unsafe { ctx.local_mut()[0] = 1 };
+                    } else {
+                        let mut buf = [0u32; 4];
+                        unsafe { ctx.get(&mut buf, 0, 0) };
+                    }
+                });
+            }));
+            assert!(result.is_err(), "missing-barrier get must panic in debug builds");
+        }
+
+        #[test]
+        fn catches_overlapping_puts() {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let heap: Arc<SymHeap<u32>> = Arc::new(SymHeap::new(3, 16));
+                heap.run(|ctx| {
+                    if ctx.pe() > 0 {
+                        // Both writers target element 0 of PE 0's segment.
+                        unsafe { ctx.put(&[ctx.pe() as u32], 0, 0) };
+                    }
+                });
+            }));
+            assert!(result.is_err(), "overlapping same-epoch puts must panic");
+        }
+
+        #[test]
+        fn allows_barrier_separated_reuse_and_concurrent_reads() {
+            let heap: Arc<SymHeap<u32>> = Arc::new(SymHeap::new(2, 64));
+            heap.run(|ctx| {
+                unsafe { ctx.local_mut()[0] = ctx.pe() as u32 };
+                ctx.barrier();
+                // Everyone reads everyone (including the owner's own
+                // read-only view) in one epoch: all claims are reads.
+                let _own = unsafe { ctx.local()[0] };
+                let mut buf = [0u32; 1];
+                unsafe { ctx.get(&mut buf, 1 - ctx.pe(), 0) };
+                assert_eq!(buf[0], (1 - ctx.pe()) as u32);
+                ctx.barrier();
+                // Fresh epoch: owners may mutate again.
+                unsafe { ctx.local_mut()[0] = 9 };
+            });
+        }
+    }
+
     #[test]
     fn shmem_matches_msg_sort() {
         let mut rng = StdRng::seed_from_u64(9);
@@ -410,9 +589,12 @@ pub fn sample_sort_shmem<K: RadixKey + Default + Send>(keys: &mut [K], p: usize,
         all.sort_unstable();
         let splitters: Vec<K> = (1..p).map(|k| all[k * all.len() / p]).collect();
 
-        // Phase 4: bucket boundaries (ties spread) + publish counts.
+        // Phase 4: bucket boundaries (ties spread) + publish counts. In
+        // this epoch other PEs `get` our sample region, so the read-only
+        // view matters: a `local_mut` claim here would (rightly) trip the
+        // debug checker.
         // SAFETY: reading only our own sorted keys region.
-        let local = unsafe { ctx.local_mut() };
+        let local = unsafe { ctx.local() };
         let sorted = &local[..len];
         let mut bounds = vec![0usize; p + 1];
         bounds[p] = len;

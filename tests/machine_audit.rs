@@ -44,6 +44,38 @@ fn audit_catches_injected_skipped_invalidation() {
 }
 
 #[test]
+fn copy_untimed_invalidates_other_pes_stale_destination_copies() {
+    // Regression: `copy_untimed` mutates the backing store, so another
+    // processor's cached copy of a destination line is stale afterwards —
+    // it used to stay resident, and a later timed read there was accounted
+    // as a hit on data the modelled hardware could never have delivered.
+    let p = 4;
+    let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(256));
+    m.set_section_audit(true);
+    m.section("setup");
+    let src = m.alloc(256, Placement::Node(0), "src");
+    let dst = m.alloc(256, Placement::Node(0), "dst");
+    m.raw_mut(src)[0] = 99;
+    m.write_at(0, dst, 0, 1); // initiator holds the dst line Modified
+    m.read_at(1, dst, 4); // PE 1 caches the same dst line (Shared)
+    m.section("copy");
+    m.copy_untimed(0, src, 0, dst, 0, 32);
+    assert_eq!(m.raw(dst)[0], 99);
+    // PE 1's stale copy must be gone: its re-read misses.
+    let misses = m.events(1).misses();
+    m.read_at(1, dst, 4);
+    assert!(m.events(1).misses() > misses, "stale copy survived copy_untimed");
+    // The initiator performed the writes, so its own Modified copy is
+    // exactly right and must survive: its re-read hits.
+    let misses0 = m.events(0).misses();
+    m.read_at(0, dst, 0);
+    assert_eq!(m.events(0).misses(), misses0, "initiator's copy must stay cached");
+    // And the phase boundary's full audit agrees the machine is healthy.
+    m.section("after");
+    assert_eq!(m.audit(), Vec::<String>::new());
+}
+
+#[test]
 fn section_audit_mode_catches_corruption_at_phase_boundary() {
     let mut m = Machine::new(MachineConfig::origin2000(2).scaled_down(256));
     m.set_section_audit(true);
