@@ -16,6 +16,43 @@
 
 use ccsort_audit::{audit_point, audit_simulated, validate_dist, Point};
 use ccsort_algos::{Algorithm, Dist};
+use rayon::prelude::*;
+
+/// Expand the (points × processor counts × distributions) grid in the
+/// canonical print order. Cells are independent — each audit builds its own
+/// seeded machine — so the sweeps evaluate them with rayon and print the
+/// collected results sequentially, keeping stdout byte-identical to the old
+/// sequential loop regardless of worker count.
+fn grid(points: &[(usize, u32, u64)], ps: &[usize]) -> Vec<(usize, u32, u64, usize, Dist)> {
+    let mut cells = Vec::new();
+    for &(n, r, seed) in points {
+        for &p in ps {
+            for dist in Dist::ALL {
+                cells.push((n, r, seed, p, dist));
+            }
+        }
+    }
+    cells
+}
+
+/// Run `audit` over every cell in parallel, then print the per-cell status
+/// lines in grid order and return the flattened failure list.
+fn run_grid<F>(cells: &[(usize, u32, u64, usize, Dist)], audit: F) -> Vec<String>
+where
+    F: Fn(&Point) -> Vec<String> + Sync,
+{
+    let results: Vec<Vec<String>> = cells
+        .par_iter()
+        .map(|&(n, r, seed, p, dist)| audit(&Point { dist, n, p, r, seed, scale: 256 }))
+        .collect();
+    let mut failures = Vec::new();
+    for (&(n, r, seed, p, dist), errs) in cells.iter().zip(&results) {
+        let status = if errs.is_empty() { "ok" } else { "FAIL" };
+        println!("{status:>4}  {} n={n} p={p} r={r} seed={seed}", dist.name());
+        failures.extend(errs.iter().cloned());
+    }
+    failures
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,26 +103,18 @@ fn sweep(args: &[String]) -> i32 {
         vec![(1 << 10, 6, seed), (1 << 12, 8, seed), (1 << 10, 6, seed.wrapping_add(271828))]
     };
 
-    let mut failures: Vec<String> = Vec::new();
-    let mut checked = 0usize;
-    for &(n, r, seed) in &points {
-        for &p in &ps {
-            for dist in Dist::ALL {
-                let pt = Point { dist, n, p, r, seed, scale: 256 };
-                let mut errs = validate_dist(dist, n, p, r, seed);
-                // The old zero-fill bug only bit when p ∤ n; always probe a
-                // small non-divisible companion point too.
-                if n % p == 0 && p > 1 {
-                    errs.extend(validate_dist(dist, n + p / 2, p, r, seed));
-                }
-                errs.extend(audit_point(&pt, &Algorithm::ALL));
-                checked += 1;
-                let status = if errs.is_empty() { "ok" } else { "FAIL" };
-                println!("{status:>4}  {} n={n} p={p} r={r} seed={seed}", dist.name());
-                failures.extend(errs);
-            }
+    let cells = grid(&points, &ps);
+    let checked = cells.len();
+    let failures = run_grid(&cells, |pt| {
+        let mut errs = validate_dist(pt.dist, pt.n, pt.p, pt.r, pt.seed);
+        // The old zero-fill bug only bit when p ∤ n; always probe a
+        // small non-divisible companion point too.
+        if pt.n % pt.p == 0 && pt.p > 1 {
+            errs.extend(validate_dist(pt.dist, pt.n + pt.p / 2, pt.p, pt.r, pt.seed));
         }
-    }
+        errs.extend(audit_point(pt, &Algorithm::ALL));
+        errs
+    });
 
     if failures.is_empty() {
         println!("sweep clean: {checked} points, all implementations agree, all invariants hold");
@@ -116,20 +145,9 @@ fn races(args: &[String]) -> i32 {
         vec![(1 << 10, 6, seed), (1 << 12, 8, seed), (1 << 10, 6, seed.wrapping_add(271828))]
     };
 
-    let mut failures: Vec<String> = Vec::new();
-    let mut checked = 0usize;
-    for &(n, r, seed) in &points {
-        for &p in &ps {
-            for dist in Dist::ALL {
-                let pt = Point { dist, n, p, r, seed, scale: 256 };
-                let errs = audit_simulated(&pt, &Algorithm::ALL);
-                checked += 1;
-                let status = if errs.is_empty() { "ok" } else { "FAIL" };
-                println!("{status:>4}  {} n={n} p={p} r={r} seed={seed}", dist.name());
-                failures.extend(errs);
-            }
-        }
-    }
+    let cells = grid(&points, &ps);
+    let checked = cells.len();
+    let failures = run_grid(&cells, |pt| audit_simulated(pt, &Algorithm::ALL));
 
     if failures.is_empty() {
         println!("race sweep clean: {checked} points, all simulator programs race-free");

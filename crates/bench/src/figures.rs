@@ -7,9 +7,16 @@
 //! as good defaults — and measure speedup against the shared sequential
 //! radix-sort baseline, exactly as the paper does.
 
-use ccsort_algos::{Algorithm, Dist};
+//! Each grid's cells are mutually independent, so every generator first
+//! *prefetches* its full experiment grid through [`Runner::prefetch`] —
+//! filling the memo cache on a rayon pool — and then prints from the cache
+//! in the original sequential order. Output (stdout and recorded JSON
+//! points) is byte-identical to sequential execution.
 
-use crate::runner::Runner;
+use ccsort_algos::{Algorithm, Dist};
+use rayon::prelude::*;
+
+use crate::runner::{ExpKey, Runner};
 
 /// Radix size used for radix-sort speedup figures.
 const RADIX_R: u32 = 8;
@@ -30,15 +37,27 @@ fn speedup_grid(r: &mut Runner, artefact: &str, title: &str, algs: &[(Algorithm,
         print!(" {name:>12}");
     }
     println!();
-    for &si in &r.opts.sizes.clone() {
+    let sizes = r.opts.sizes.clone();
+    let procs = r.opts.procs.clone();
+    let seq_cells: Vec<(usize, Dist)> = sizes.iter().map(|&si| (si, Dist::Gauss)).collect();
+    r.prefetch_seq(&seq_cells);
+    let keys: Vec<ExpKey> = sizes
+        .iter()
+        .flat_map(|&si| {
+            procs.iter().flat_map(move |&p| {
+                algs.iter().map(move |&(alg, rad, _)| (alg, si, p, rad, Dist::Gauss))
+            })
+        })
+        .collect();
+    r.prefetch(&keys);
+    for &si in &sizes {
         let label = r.opts.label_for(si);
         let seq = r.seq_ns(si, Dist::Gauss);
-        for &p in &r.opts.procs.clone() {
+        for &p in &procs {
             print!("{label:>6} {p:>4}");
             for &(alg, rad, _) in algs {
-                let res = r.exp(alg, si, p, rad, Dist::Gauss).clone();
-                let speedup = seq / res.parallel_ns;
-                r.record(artefact, si, &res, Some(speedup), None);
+                let speedup = seq / r.exp(alg, si, p, rad, Dist::Gauss).parallel_ns;
+                r.record_key(artefact, (alg, si, p, rad, Dist::Gauss), Some(speedup), None);
                 print!(" {speedup:>12.1}");
             }
             println!();
@@ -50,6 +69,8 @@ fn speedup_grid(r: &mut Runner, artefact: &str, title: &str, algs: &[(Algorithm,
 pub fn table1(r: &mut Runner) {
     print_header("Table 1: sequential radix sort time (Gauss), simulated");
     println!("{:>6} {:>12} {:>8} {:>14} {:>18}", "size", "n (simulated)", "scale", "time (us)", "x scale (us)");
+    let seq_cells: Vec<(usize, Dist)> = r.opts.sizes.iter().map(|&si| (si, Dist::Gauss)).collect();
+    r.prefetch_seq(&seq_cells);
     for &si in &r.opts.sizes.clone() {
         let n = r.opts.n_for(si);
         let scale = r.opts.scale_for(si);
@@ -104,9 +125,11 @@ fn breakdown_grid(r: &mut Runner, artefact: &str, title: &str, size_idx: usize, 
         "{:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "variant", "BUSY", "LMEM", "RMEM", "SYNC", "TOTAL"
     );
+    let keys: Vec<ExpKey> =
+        algs.iter().map(|&(alg, rad, _)| (alg, size_idx, p, rad, Dist::Gauss)).collect();
+    r.prefetch(&keys);
     for &(alg, rad, name) in algs {
-        let res = r.exp(alg, size_idx, p, rad, Dist::Gauss).clone();
-        let m = res.mean_breakdown();
+        let m = r.exp(alg, size_idx, p, rad, Dist::Gauss).mean_breakdown();
         println!(
             "{:>12} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
             name,
@@ -116,8 +139,9 @@ fn breakdown_grid(r: &mut Runner, artefact: &str, title: &str, size_idx: usize, 
             m.sync / 1e3,
             m.total() / 1e3
         );
-        r.record(artefact, size_idx, &res, None, None);
+        r.record_key(artefact, (alg, size_idx, p, rad, Dist::Gauss), None, None);
         if r.opts.verbose {
+            let res = r.exp(alg, size_idx, p, rad, Dist::Gauss);
             for (pe, b) in res.per_pe.iter().enumerate() {
                 println!(
                     "    pe{pe:<3} busy {:>9.0} lmem {:>9.0} rmem {:>9.0} sync {:>9.0}",
@@ -183,21 +207,24 @@ fn dist_grid(r: &mut Runner, artefact: &str, title: &str, alg: Algorithm, rad: u
     print_header(title);
     let p = breakdown_procs(r);
     println!("({} on {p} processors; execution time relative to gauss)", alg.name());
+    let sizes = r.opts.sizes.clone();
     print!("{:>8}", "dist");
-    for &si in &r.opts.sizes.clone() {
+    for &si in &sizes {
         print!(" {:>8}", r.opts.label_for(si));
     }
     println!();
-    let base: Vec<f64> = {
-        let sizes = r.opts.sizes.clone();
-        sizes.iter().map(|&si| r.exp(alg, si, p, rad, Dist::Gauss).parallel_ns).collect()
-    };
+    let keys: Vec<ExpKey> = Dist::ALL
+        .iter()
+        .flat_map(|&dist| sizes.iter().map(move |&si| (alg, si, p, rad, dist)))
+        .collect();
+    r.prefetch(&keys);
+    let base: Vec<f64> =
+        sizes.iter().map(|&si| r.exp(alg, si, p, rad, Dist::Gauss).parallel_ns).collect();
     for dist in Dist::ALL {
         print!("{:>8}", dist.name());
-        for (k, &si) in r.opts.sizes.clone().iter().enumerate() {
-            let res = r.exp(alg, si, p, rad, dist).clone();
-            let rel = res.parallel_ns / base[k];
-            r.record(artefact, si, &res, None, Some(rel));
+        for (k, &si) in sizes.iter().enumerate() {
+            let rel = r.exp(alg, si, p, rad, dist).parallel_ns / base[k];
+            r.record_key(artefact, (alg, si, p, rad, dist), None, Some(rel));
             print!(" {rel:>8.2}");
         }
         println!();
@@ -231,21 +258,23 @@ fn radix_size_grid(r: &mut Runner, artefact: &str, title: &str, alg: Algorithm) 
     print_header(title);
     let p = breakdown_procs(r);
     println!("({} on {p} processors; time relative to radix 8)", alg.name());
+    let sizes = r.opts.sizes.clone();
     print!("{:>6}", "r");
-    for &si in &r.opts.sizes.clone() {
+    for &si in &sizes {
         print!(" {:>8}", r.opts.label_for(si));
     }
     println!();
-    let base: Vec<f64> = {
-        let sizes = r.opts.sizes.clone();
-        sizes.iter().map(|&si| r.exp(alg, si, p, 8, Dist::Gauss).parallel_ns).collect()
-    };
+    let keys: Vec<ExpKey> = (6..=12u32)
+        .flat_map(|rad| sizes.iter().map(move |&si| (alg, si, p, rad, Dist::Gauss)))
+        .collect();
+    r.prefetch(&keys);
+    let base: Vec<f64> =
+        sizes.iter().map(|&si| r.exp(alg, si, p, 8, Dist::Gauss).parallel_ns).collect();
     for rad in 6..=12u32 {
         print!("{rad:>6}");
-        for (k, &si) in r.opts.sizes.clone().iter().enumerate() {
-            let res = r.exp(alg, si, p, rad, Dist::Gauss).clone();
-            let rel = res.parallel_ns / base[k];
-            r.record(artefact, si, &res, None, Some(rel));
+        for (k, &si) in sizes.iter().enumerate() {
+            let rel = r.exp(alg, si, p, rad, Dist::Gauss).parallel_ns / base[k];
+            r.record_key(artefact, (alg, si, p, rad, Dist::Gauss), None, Some(rel));
             print!(" {rel:>8.2}");
         }
         println!();
@@ -288,6 +317,7 @@ pub fn sampling(r: &mut Runner) {
     let p = breakdown_procs(r);
     let n = r.opts.n_for(si);
     let scale = r.opts.scale_for(si);
+    let seed = r.opts.seed;
     println!("(size {}, {p} processors; zero distribution stresses balance)", r.opts.label_for(si));
     println!("{:>24} {:>12} {:>12} {:>12} {:>12}", "strategy", "gauss ms", "imbalance", "zero ms", "imbalance");
     let strategies: [(&str, SamplingStrategy); 5] = [
@@ -297,17 +327,28 @@ pub fn sampling(r: &mut Runner) {
         ("random 128/pe", SamplingStrategy::Random { per_pe: 128, seed: 7 }),
         ("oversample 8p/pe", SamplingStrategy::Oversample { factor: 8 }),
     ];
-    for (name, strat) in strategies {
-        print!("{name:>24}");
-        for dist in [Dist::Gauss, Dist::Zero] {
-            let res = run_experiment(
-                &ExpConfig::new(Algorithm::SampleShmem, n, p)
+    // Sampling strategies are not part of the runner's memo key, so this
+    // grid parallelizes its independent cells directly; results are
+    // collected in configuration order before printing.
+    let cfgs: Vec<ExpConfig> = strategies
+        .iter()
+        .flat_map(|&(_, strat)| {
+            [Dist::Gauss, Dist::Zero].into_iter().map(move |dist| {
+                ExpConfig::new(Algorithm::SampleShmem, n, p)
                     .radix_bits(SAMPLE_R)
                     .dist(dist)
-                    .seed(r.opts.seed)
+                    .seed(seed)
                     .scale(scale)
-                    .sampling(strat),
-            );
+                    .sampling(strat)
+            })
+        })
+        .collect();
+    let results: Vec<_> = cfgs.par_iter().map(run_experiment).collect();
+    let mut cells = results.iter();
+    for (name, _) in strategies {
+        print!("{name:>24}");
+        for _ in [Dist::Gauss, Dist::Zero] {
+            let res = cells.next().unwrap();
             assert!(res.verified);
             print!(" {:>12.1} {:>12.3}", res.parallel_ns / 1e6, res.imbalance());
         }
@@ -322,12 +363,12 @@ pub fn phases(r: &mut Runner) {
     let si = breakdown_size(r);
     let p = breakdown_procs(r);
     println!("(size {}, {p} processors)", r.opts.label_for(si));
-    for (alg, rad) in [
-        (Algorithm::RadixCcsas, RADIX_R),
-        (Algorithm::RadixShmem, RADIX_R),
-        (Algorithm::SampleShmem, SAMPLE_R),
-    ] {
-        let res = r.exp(alg, si, p, rad, Dist::Gauss).clone();
+    let algs =
+        [(Algorithm::RadixCcsas, RADIX_R), (Algorithm::RadixShmem, RADIX_R), (Algorithm::SampleShmem, SAMPLE_R)];
+    let keys: Vec<ExpKey> = algs.iter().map(|&(alg, rad)| (alg, si, p, rad, Dist::Gauss)).collect();
+    r.prefetch(&keys);
+    for (alg, rad) in algs {
+        let res = r.exp(alg, si, p, rad, Dist::Gauss);
         println!("\n{}:", alg.name());
         println!("{:>14} {:>10} {:>10} {:>10} {:>10} {:>10}", "phase", "BUSY", "LMEM", "RMEM", "SYNC", "TOTAL");
         for (name, t) in &res.sections {
@@ -376,18 +417,28 @@ pub fn predict(r: &mut Runner) {
         print!(" {:>22}", m.name());
     }
     println!();
+    let alg_of = |model: PredictModel| match model {
+        PredictModel::Ccsas => Algorithm::RadixCcsas,
+        PredictModel::CcsasNew => Algorithm::RadixCcsasNew,
+        PredictModel::Mpi => Algorithm::RadixMpiDirect,
+        PredictModel::Shmem => Algorithm::RadixShmem,
+    };
+    let keys: Vec<ExpKey> = r
+        .opts
+        .sizes
+        .iter()
+        .flat_map(|&si| {
+            PredictModel::ALL.iter().map(move |&m| (alg_of(m), si, p, RADIX_R, Dist::Gauss))
+        })
+        .collect();
+    r.prefetch(&keys);
     for &si in &r.opts.sizes.clone() {
         let n = r.opts.n_for(si);
         let scale = r.opts.scale_for(si);
         let label = r.opts.label_for(si);
         print!("{label:>6}");
         for model in PredictModel::ALL {
-            let alg = match model {
-                PredictModel::Ccsas => Algorithm::RadixCcsas,
-                PredictModel::CcsasNew => Algorithm::RadixCcsasNew,
-                PredictModel::Mpi => Algorithm::RadixMpiDirect,
-                PredictModel::Shmem => Algorithm::RadixShmem,
-            };
+            let alg = alg_of(model);
             let cfg = MachineConfig::origin2000(p).scaled_down(scale);
             let predicted = predict_radix(&cfg, model, n, p, RADIX_R).total();
             let simulated = r.exp(alg, si, p, RADIX_R, Dist::Gauss).parallel_ns;
@@ -435,15 +486,26 @@ pub fn table2_and_3(r: &mut Runner) {
         "{:>6} {:>4} | {:>12} {:>18} | {:>12} {:>18}",
         "size", "P", "radix (us)", "radix best", "sample (us)", "sample best"
     );
-    for &si in &r.opts.sizes.clone() {
+    let sizes = r.opts.sizes.clone();
+    let procs = r.opts.procs.clone();
+    let keys: Vec<ExpKey> = sizes
+        .iter()
+        .flat_map(|&si| {
+            procs.iter().flat_map(move |&p| {
+                RADIX_MODELS.iter().chain(SAMPLE_MODELS.iter()).flat_map(move |&(alg, _)| {
+                    BEST_RADIX_SET.iter().map(move |&rad| (alg, si, p, rad, Dist::Gauss))
+                })
+            })
+        })
+        .collect();
+    r.prefetch(&keys);
+    for &si in &sizes {
         let label = r.opts.label_for(si);
-        for &p in &r.opts.procs.clone() {
+        for &p in &procs {
             let (rt, ralg, rmodel, rr) = best_of(r, &RADIX_MODELS, si, p);
             let (st, salg, smodel, sr) = best_of(r, &SAMPLE_MODELS, si, p);
-            let res_r = r.exp(ralg, si, p, rr, Dist::Gauss).clone();
-            r.record("table2-radix", si, &res_r, None, None);
-            let res_s = r.exp(salg, si, p, sr, Dist::Gauss).clone();
-            r.record("table2-sample", si, &res_s, None, None);
+            r.record_key("table2-radix", (ralg, si, p, rr, Dist::Gauss), None, None);
+            r.record_key("table2-sample", (salg, si, p, sr, Dist::Gauss), None, None);
             println!(
                 "{:>6} {:>4} | {:>12.0} {:>12} r={:<3} | {:>12.0} {:>12} r={:<3}",
                 label,

@@ -1,0 +1,173 @@
+//! Simulator hot-loop microprograms.
+//!
+//! Two access programs — a streamed sweep (`touch_run` over each PE's
+//! partition) and a scattered walk (`read_at`/`write_at` at pseudo-random
+//! indices inside each PE's partition) — parameterised by processor count,
+//! race detector on/off and fast path on/off. They are the workload behind
+//! both the `machine_hotpath` criterion bench and the `simbench` binary
+//! that emits `BENCH_simulator.json`, so the two always agree on what is
+//! being measured: *host* throughput of the simulator itself, reported as
+//! simulated key touches per wall-clock second.
+//!
+//! Everything here is deterministic: the scattered index stream is a fixed
+//! LCG, partitions never overlap (so the race detector sees a race-free
+//! program and pays only its bookkeeping), and `fast_path = false` runs the
+//! per-line reference walk — the pre-optimization cost model — on the same
+//! program, which is what makes the before/after ratio in
+//! `BENCH_simulator.json` meaningful.
+
+use std::time::Instant;
+
+use ccsort_machine::{Machine, MachineConfig, Placement};
+
+/// Which access pattern a microprogram exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Program {
+    /// Each PE sweeps its partition with `touch_run`, alternating read and
+    /// write passes — the streamed pattern the fast path targets.
+    Streamed,
+    /// Each PE issues single-element `read_at`/`write_at` touches at
+    /// LCG-generated indices inside its partition.
+    Scattered,
+}
+
+impl Program {
+    pub fn name(self) -> &'static str {
+        match self {
+            Program::Streamed => "streamed",
+            Program::Scattered => "scattered",
+        }
+    }
+}
+
+/// One measured cell of the hot-path grid.
+#[derive(Debug, Clone)]
+pub struct HotpathResult {
+    pub program: Program,
+    pub p: usize,
+    pub race_detector: bool,
+    pub fast_path: bool,
+    /// Simulated element touches performed.
+    pub keys: u64,
+    /// Host wall-clock seconds for the touch loop (excludes machine setup).
+    pub wall_s: f64,
+    /// `keys / wall_s` — the trajectory metric.
+    pub keys_per_sec: f64,
+    /// Simulated parallel time, for sanity checks: it must not depend on
+    /// `fast_path` (asserted by the equivalence tests) or host speed.
+    pub simulated_ns: f64,
+}
+
+/// Processor counts the grid covers (per the issue: 1, a mid point, full
+/// machine).
+pub const GRID_PROCS: [usize; 3] = [1, 16, 64];
+
+fn build(p: usize, race: bool, fast: bool) -> Machine {
+    let mut cfg = MachineConfig::origin2000(p);
+    cfg.race_detector = race;
+    cfg.fast_path = fast;
+    Machine::new(cfg)
+}
+
+/// Run one microprogram cell: `n` total elements across `p` partitions,
+/// swept `passes` times. Returns the measured throughput.
+pub fn run_cell(
+    program: Program,
+    p: usize,
+    race: bool,
+    fast: bool,
+    n: usize,
+    passes: usize,
+) -> HotpathResult {
+    let mut m = build(p, race, fast);
+    let arr = m.alloc(n, Placement::Partitioned { parts: p }, "hotpath");
+    let chunk = n / p;
+    assert!(chunk > 0, "n must be >= p");
+    let mut keys: u64 = 0;
+
+    let t = Instant::now();
+    match program {
+        Program::Streamed => {
+            for pass in 0..passes {
+                let write = pass % 2 == 1;
+                for pe in 0..p {
+                    m.touch_run(pe, arr, pe * chunk, chunk, write);
+                    keys += chunk as u64;
+                }
+                m.barrier();
+            }
+        }
+        Program::Scattered => {
+            // Fixed 64-bit LCG (Knuth's MMIX constants); each PE gets a
+            // distinct stream but the whole schedule is deterministic.
+            for pass in 0..passes {
+                for pe in 0..p {
+                    let mut x = 0x9E37_79B9u64
+                        .wrapping_add(pe as u64)
+                        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                        .wrapping_add(pass as u64);
+                    for _ in 0..chunk {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let idx = pe * chunk + ((x >> 33) as usize % chunk);
+                        if x & 1 == 0 {
+                            m.read_at(pe, arr, idx);
+                        } else {
+                            m.write_at(pe, arr, idx, x as u32);
+                        }
+                        keys += 1;
+                    }
+                }
+                m.barrier();
+            }
+        }
+    }
+    m.resolve_phase();
+    let wall_s = t.elapsed().as_secs_f64();
+
+    HotpathResult {
+        program,
+        p,
+        race_detector: race,
+        fast_path: fast,
+        keys,
+        wall_s,
+        keys_per_sec: keys as f64 / wall_s.max(1e-9),
+        simulated_ns: m.parallel_time(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The microprograms must themselves be exact under the fast path:
+    /// identical simulated time with `fast_path` on and off, for both
+    /// programs, with and without the race detector.
+    #[test]
+    fn cells_are_fast_path_exact() {
+        for program in [Program::Streamed, Program::Scattered] {
+            for race in [false, true] {
+                let fast = run_cell(program, 4, race, true, 1 << 12, 3);
+                let slow = run_cell(program, 4, race, false, 1 << 12, 3);
+                assert_eq!(
+                    fast.simulated_ns, slow.simulated_ns,
+                    "{program:?} race={race} diverged"
+                );
+                assert_eq!(fast.keys, slow.keys);
+            }
+        }
+    }
+
+    /// Simulated time must not depend on the race detector either — the
+    /// detector observes, it never charges time.
+    #[test]
+    fn race_detector_does_not_change_simulated_time() {
+        for program in [Program::Streamed, Program::Scattered] {
+            let off = run_cell(program, 4, false, true, 1 << 12, 2);
+            let on = run_cell(program, 4, true, true, 1 << 12, 2);
+            assert_eq!(off.simulated_ns, on.simulated_ns, "{program:?} diverged");
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! machine-readable JSON for EXPERIMENTS.md.
 
 pub mod figures;
+pub mod hotpath;
 pub mod runner;
 
 pub use runner::{Runner, RunnerOpts, SIZE_LABELS};

@@ -1,8 +1,13 @@
 //! Experiment runner with memoisation and the paper's size/processor grid.
+//!
+//! Grid cells are independent — each builds its own seeded `Machine` — so
+//! the runner can fill its memo cache in parallel ([`Runner::prefetch`])
+//! with results bit-identical to sequential execution.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use ccsort_algos::{run_experiment, run_sequential_baseline, Algorithm, Dist, ExpConfig, ExpResult};
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// The paper's data-set labels (key counts at full scale).
@@ -98,7 +103,37 @@ pub struct Point {
     pub verified: bool,
 }
 
-type ExpKey = (Algorithm, usize, usize, u32, Dist);
+/// Memo key of one experiment cell: `(algorithm, size index, p, radix
+/// bits, distribution)`.
+pub type ExpKey = (Algorithm, usize, usize, u32, Dist);
+
+/// Page-size multiplier for a size label: the paper runs the 256M-key
+/// configurations with 256 KB pages (4x the 64 KB used for 1M-64M) to
+/// get the best performance.
+fn page_mult_for(size_idx: usize) -> usize {
+    if SIZE_LABELS[size_idx].1 >= SIZE_LABELS[4].1 {
+        4
+    } else {
+        1
+    }
+}
+
+/// Run one experiment cell. Panics if verification fails — a figure must
+/// never be generated from an unsorted output.
+fn run_cell(opts: &RunnerOpts, key: ExpKey) -> ExpResult {
+    let (alg, size_idx, p, r, dist) = key;
+    let n = opts.n_for(size_idx);
+    let res = run_experiment(
+        &ExpConfig::new(alg, n, p)
+            .radix_bits(r)
+            .dist(dist)
+            .seed(opts.seed)
+            .scale(opts.scale_for(size_idx))
+            .page_mult(page_mult_for(size_idx)),
+    );
+    assert!(res.verified, "experiment {alg:?} n={n} p={p} r={r} {dist:?} produced unsorted output");
+    res
+}
 
 /// Memoising experiment runner.
 pub struct Runner {
@@ -114,41 +149,69 @@ impl Runner {
         Runner { opts, cache: HashMap::new(), seq_cache: HashMap::new(), points: Vec::new() }
     }
 
-    /// Page-size multiplier for a size label: the paper runs the 256M-key
-    /// configurations with 256 KB pages (4x the 64 KB used for 1M-64M) to
-    /// get the best performance.
-    fn page_mult_for(&self, size_idx: usize) -> usize {
-        if SIZE_LABELS[size_idx].1 >= SIZE_LABELS[4].1 {
-            4
-        } else {
-            1
-        }
-    }
-
     /// Run (or recall) one experiment at size label `size_idx`. Panics if
     /// verification fails — a figure must never be generated from an
     /// unsorted output.
     pub fn exp(&mut self, alg: Algorithm, size_idx: usize, p: usize, r: u32, dist: Dist) -> &ExpResult {
         let key = (alg, size_idx, p, r, dist);
-        let seed = self.opts.seed;
-        let scale = self.opts.scale_for(size_idx);
-        let n = self.opts.n_for(size_idx);
-        let pm = self.page_mult_for(size_idx);
-        self.cache.entry(key).or_insert_with(|| {
-            let res = run_experiment(
-                &ExpConfig::new(alg, n, p)
-                    .radix_bits(r)
-                    .dist(dist)
-                    .seed(seed)
-                    .scale(scale)
-                    .page_mult(pm),
-            );
-            assert!(
-                res.verified,
-                "experiment {alg:?} n={n} p={p} r={r} {dist:?} produced unsorted output"
-            );
-            res
-        })
+        let opts = &self.opts;
+        self.cache.entry(key).or_insert_with(|| run_cell(opts, key))
+    }
+
+    /// Run every not-yet-cached cell among `keys` in parallel and memoise
+    /// the results. Each cell constructs its own seeded `Machine`, so a
+    /// parallel fill is bit-identical to running the cells one by one;
+    /// results are zipped back in `keys` order, keeping the cache fill
+    /// deterministic regardless of worker count or scheduling.
+    pub fn prefetch(&mut self, keys: &[ExpKey]) {
+        let mut seen = HashSet::new();
+        let todo: Vec<ExpKey> = keys
+            .iter()
+            .copied()
+            .filter(|key| !self.cache.contains_key(key) && seen.insert(*key))
+            .collect();
+        if todo.is_empty() {
+            return;
+        }
+        let opts = &self.opts;
+        let results: Vec<ExpResult> = todo.par_iter().map(|&key| run_cell(opts, key)).collect();
+        for (key, res) in todo.into_iter().zip(results) {
+            self.cache.insert(key, res);
+        }
+    }
+
+    /// Parallel fill of the sequential-baseline cache for `(size index,
+    /// distribution)` pairs, mirroring [`Self::prefetch`].
+    pub fn prefetch_seq(&mut self, cells: &[(usize, Dist)]) {
+        let r = 8;
+        let mut seen = HashSet::new();
+        let todo: Vec<(usize, Dist)> = cells
+            .iter()
+            .copied()
+            .filter(|&(si, d)| !self.seq_cache.contains_key(&(si, r, d)) && seen.insert((si, d)))
+            .collect();
+        if todo.is_empty() {
+            return;
+        }
+        let opts = &self.opts;
+        let times: Vec<f64> = todo
+            .par_iter()
+            .map(|&(si, dist)| {
+                let res = run_sequential_baseline(
+                    opts.n_for(si),
+                    r,
+                    dist,
+                    opts.seed,
+                    opts.scale_for(si),
+                    page_mult_for(si),
+                );
+                assert!(res.verified);
+                res.time_ns
+            })
+            .collect();
+        for ((si, d), t) in todo.into_iter().zip(times) {
+            self.seq_cache.insert((si, r, d), t);
+        }
     }
 
     /// Sequential baseline time for size label `size_idx` (radix 8 — the
@@ -160,12 +223,27 @@ impl Runner {
         let seed = self.opts.seed;
         let scale = self.opts.scale_for(size_idx);
         let n = self.opts.n_for(size_idx);
-        let pm = self.page_mult_for(size_idx);
+        let pm = page_mult_for(size_idx);
         *self.seq_cache.entry((size_idx, r, dist)).or_insert_with(|| {
             let res = run_sequential_baseline(n, r, dist, seed, scale, pm);
             assert!(res.verified);
             res.time_ns
         })
+    }
+
+    /// Record a point for an experiment already in the memo cache,
+    /// avoiding the `ExpResult` clone that [`Self::record`] forces on
+    /// callers holding only a cache reference.
+    pub fn record_key(
+        &mut self,
+        artefact: &str,
+        key: ExpKey,
+        speedup: Option<f64>,
+        relative: Option<f64>,
+    ) {
+        let res = self.cache.get(&key).expect("record_key: experiment not cached");
+        let pt = make_point(&self.opts, artefact, key.1, res, speedup, relative);
+        self.points.push(pt);
     }
 
     /// Record a point for the JSON dump.
@@ -177,25 +255,38 @@ impl Runner {
         speedup: Option<f64>,
         relative: Option<f64>,
     ) {
-        let mean = res.mean_breakdown();
-        self.points.push(Point {
-            artefact: artefact.to_string(),
-            size_label: self.opts.label_for(size_idx).to_string(),
-            scale: self.opts.scale_for(size_idx),
-            n: res.n,
-            p: res.p,
-            algorithm: res.algorithm.name().to_string(),
-            radix_bits: res.radix_bits,
-            dist: res.dist.name().to_string(),
-            time_ns: res.parallel_ns,
-            speedup,
-            relative,
-            busy_ns: mean.busy,
-            lmem_ns: mean.lmem,
-            rmem_ns: mean.rmem,
-            sync_ns: mean.sync,
-            verified: res.verified,
-        });
+        let pt = make_point(&self.opts, artefact, size_idx, res, speedup, relative);
+        self.points.push(pt);
+    }
+}
+
+/// Build the serialisable [`Point`] for one recorded experiment.
+fn make_point(
+    opts: &RunnerOpts,
+    artefact: &str,
+    size_idx: usize,
+    res: &ExpResult,
+    speedup: Option<f64>,
+    relative: Option<f64>,
+) -> Point {
+    let mean = res.mean_breakdown();
+    Point {
+        artefact: artefact.to_string(),
+        size_label: opts.label_for(size_idx).to_string(),
+        scale: opts.scale_for(size_idx),
+        n: res.n,
+        p: res.p,
+        algorithm: res.algorithm.name().to_string(),
+        radix_bits: res.radix_bits,
+        dist: res.dist.name().to_string(),
+        time_ns: res.parallel_ns,
+        speedup,
+        relative,
+        busy_ns: mean.busy,
+        lmem_ns: mean.lmem,
+        rmem_ns: mean.rmem,
+        sync_ns: mean.sync,
+        verified: res.verified,
     }
 }
 
@@ -254,6 +345,48 @@ mod tests {
         let seq = r.seq_ns(0, Dist::Gauss);
         let par = r.exp(Algorithm::SampleShmem, 0, 8, 11, Dist::Gauss).parallel_ns;
         assert!(seq > par, "seq {seq} should exceed 8-way parallel {par}");
+    }
+
+    #[test]
+    fn prefetch_matches_sequential_exp() {
+        let opts = RunnerOpts {
+            max_sim_n: 1 << 12,
+            sizes: vec![0],
+            procs: vec![4],
+            seed: 7,
+            verbose: false,
+        };
+        let keys: Vec<ExpKey> = vec![
+            (Algorithm::RadixShmem, 0, 4, 8, Dist::Gauss),
+            (Algorithm::SampleShmem, 0, 4, 11, Dist::Gauss),
+            (Algorithm::RadixShmem, 0, 4, 8, Dist::Gauss), // duplicate: deduped
+        ];
+        let mut par = Runner::new(opts.clone());
+        par.prefetch(&keys);
+        par.prefetch_seq(&[(0, Dist::Gauss)]);
+        let mut seq = Runner::new(opts);
+        for &(alg, si, p, r, d) in &keys {
+            assert_eq!(par.exp(alg, si, p, r, d).parallel_ns, seq.exp(alg, si, p, r, d).parallel_ns);
+        }
+        assert_eq!(par.seq_ns(0, Dist::Gauss), seq.seq_ns(0, Dist::Gauss));
+    }
+
+    #[test]
+    fn record_key_matches_record() {
+        let mut r = Runner::new(RunnerOpts {
+            max_sim_n: 1 << 12,
+            sizes: vec![0],
+            procs: vec![4],
+            seed: 7,
+            verbose: false,
+        });
+        let key: ExpKey = (Algorithm::RadixShmem, 0, 4, 8, Dist::Gauss);
+        let res = r.exp(key.0, key.1, key.2, key.3, key.4).clone();
+        r.record("a", key.1, &res, Some(1.0), None);
+        r.record_key("a", key, Some(1.0), None);
+        let a = serde_json::to_string(&r.points[0]).unwrap();
+        let b = serde_json::to_string(&r.points[1]).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -111,6 +111,22 @@ pub struct ExpConfig {
     /// [`run_experiment_audited`] (the plain path has no detector).
     #[serde(default)]
     pub inject_missing_barrier: Option<usize>,
+    /// The simulator's streamed-run fast path (`MachineConfig::fast_path`).
+    /// On by default; turning it off forces the per-line reference walk —
+    /// results are bit-identical either way (the equivalence tests assert
+    /// it), only wall-clock differs.
+    #[serde(default = "default_true")]
+    pub fast_path: bool,
+    /// Run the happens-before race detector without the rest of the audit
+    /// machinery (section-boundary audits). [`run_experiment_audited`]
+    /// implies it; this flag exists so benchmarks can measure the
+    /// detector's cost in isolation.
+    #[serde(default)]
+    pub race_detector: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl ExpConfig {
@@ -127,6 +143,8 @@ impl ExpConfig {
             sampling: SamplingStrategy::default(),
             warm_caches: false,
             inject_missing_barrier: None,
+            fast_path: default_true(),
+            race_detector: false,
         }
     }
 
@@ -170,9 +188,21 @@ impl ExpConfig {
         self
     }
 
+    pub fn fast_path(mut self, on: bool) -> Self {
+        self.fast_path = on;
+        self
+    }
+
+    pub fn race_detector(mut self, on: bool) -> Self {
+        self.race_detector = on;
+        self
+    }
+
     fn machine_config(&self) -> MachineConfig {
         let mut cfg = MachineConfig::origin2000(self.p).scaled_down(self.scale_denom);
         cfg.page_size *= self.page_mult.max(1);
+        cfg.fast_path = self.fast_path;
+        cfg.race_detector = self.race_detector;
         cfg
     }
 }
@@ -255,7 +285,9 @@ pub fn run_experiment_audited(cfg: &ExpConfig) -> (ExpResult, Vec<String>) {
 fn execute(cfg: &ExpConfig, audit: bool) -> (ExpResult, Vec<String>) {
     let mut m = Machine::new(cfg.machine_config());
     m.set_section_audit(audit);
-    m.set_race_detector(audit);
+    if audit {
+        m.set_race_detector(true);
+    }
     if audit {
         if let Some(nth) = cfg.inject_missing_barrier {
             m.inject_missing_barrier(nth);

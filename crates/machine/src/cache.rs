@@ -19,8 +19,10 @@ pub enum LineState {
 /// Result of probing the cache for a line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Probe {
-    /// Present with a state sufficient for the access.
-    Hit,
+    /// Present with a state sufficient for the access; carries the line's
+    /// state *after* the probe (a write hit on Exclusive is already
+    /// promoted to Modified), so callers never need a second tag walk.
+    Hit(LineState),
     /// Present in `Shared` state but the access is a write: needs an
     /// ownership upgrade (no data fetch).
     UpgradeNeeded,
@@ -121,15 +123,14 @@ impl Cache {
                 if write {
                     match self.states[i] {
                         LineState::Shared => return Probe::UpgradeNeeded,
-                        LineState::Exclusive => {
+                        LineState::Exclusive | LineState::Modified => {
                             self.states[i] = LineState::Modified;
-                            return Probe::Hit;
+                            return Probe::Hit(LineState::Modified);
                         }
-                        LineState::Modified => return Probe::Hit,
                         LineState::Invalid => unreachable!(),
                     }
                 }
-                return Probe::Hit;
+                return Probe::Hit(self.states[i]);
             }
         }
         // Miss: choose a victim way (prefer an invalid one).
@@ -192,6 +193,79 @@ impl Cache {
         victim
     }
 
+    /// Bulk warm-sweep over the consecutive lines `[first, last]`: process
+    /// the longest prefix whose lines all hit without leaving this cache
+    /// level — exactly as the equivalent sequence of [`Cache::probe`] calls
+    /// would (one clock tick and stamp refresh per hit line; write hits on
+    /// Exclusive promote to Modified) — and return its length. Stops
+    /// *before* the first line that would miss (or, for a write, sits in
+    /// `Shared` and needs an upgrade), leaving that line and the clock
+    /// untouched for the caller's full per-line path. This is the
+    /// simulator's hottest loop: a streamed re-sweep of L1-resident data
+    /// runs entirely inside this one function.
+    pub fn sweep_hits(&mut self, first: u64, last: u64, write: bool) -> u64 {
+        let mut line = first;
+        'lines: while line <= last {
+            let set = self.set_of(line);
+            let base = set * self.assoc;
+            let tag = line + 1;
+            for way in 0..self.assoc {
+                let i = base + way;
+                if self.tags[i] == tag && self.states[i] != LineState::Invalid {
+                    if write {
+                        match self.states[i] {
+                            LineState::Shared => break 'lines,
+                            LineState::Exclusive | LineState::Modified => {
+                                self.states[i] = LineState::Modified;
+                            }
+                            LineState::Invalid => unreachable!(),
+                        }
+                    }
+                    self.clock += 1;
+                    self.stamps[i] = self.clock;
+                    line += 1;
+                    continue 'lines;
+                }
+            }
+            break;
+        }
+        line - first
+    }
+
+    /// Mirror of the per-line "keep L2 in step" write probes issued for an
+    /// L1 write-hit sweep: one clock tick per line; present lines are
+    /// re-stamped and Exclusive ones promoted to Modified. A Shared line
+    /// merely re-stamps — the per-line path ignores the `UpgradeNeeded`
+    /// such a probe reports — and a missing line ticks the clock only,
+    /// exactly like the discarded `Miss` probe (L1 inclusion makes that
+    /// case unreachable in practice).
+    pub fn sweep_keep_in_step(&mut self, first: u64, last: u64) {
+        for line in first..=last {
+            self.clock += 1;
+            let set = self.set_of(line);
+            let base = set * self.assoc;
+            let tag = line + 1;
+            for way in 0..self.assoc {
+                let i = base + way;
+                if self.tags[i] == tag && self.states[i] != LineState::Invalid {
+                    self.stamps[i] = self.clock;
+                    if self.states[i] == LineState::Exclusive {
+                        self.states[i] = LineState::Modified;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Whether `line` is present in any valid state (pure; no stamp
+    /// refresh). Used by the bulk sweeps to detect their stopping lines
+    /// without perturbing LRU state.
+    #[inline]
+    pub fn contains(&self, line: u64) -> bool {
+        self.find(line).is_some()
+    }
+
     /// Promote a Shared line to Modified after an upgrade transaction.
     pub fn upgrade(&mut self, line: u64) {
         if let Some(i) = self.find(line) {
@@ -242,6 +316,79 @@ impl Cache {
     }
 }
 
+/// Bulk streamed L2→L1 refill: process the longest prefix of consecutive
+/// lines `[first, last]` that are absent from `l1` and hit in `l2` with a
+/// state sufficient for the access, mirroring — clock tick for clock tick —
+/// what the per-line walk does for each such line (L1 probe miss, L2 probe
+/// hit with stamp refresh and write promotion, L1 install of the refilled
+/// line, silently dropping any L1 victim under inclusion). Returns how many
+/// lines were refilled; stops untouched *before* the first line that is L1
+/// resident, misses L2, or needs an ownership upgrade (write on Shared) —
+/// those belong to the caller's other paths. Together with
+/// [`Cache::sweep_hits`] this keeps a warm streamed sweep of L2-resident
+/// data out of the per-line protocol machinery entirely.
+pub fn sweep_l2_refill(l1: &mut Cache, l2: &mut Cache, first: u64, last: u64, write: bool) -> u64 {
+    let mut line = first;
+    'lines: while line <= last {
+        let tag = line + 1;
+        // One L1 scan doubles as the presence check (all ways) and the
+        // victim pick [`Cache::install`] would redo: first invalid way,
+        // else the LRU way.
+        let base1 = l1.set_of(line) * l1.assoc;
+        let mut invalid_way = usize::MAX;
+        let mut lru_way = base1;
+        let mut lru_stamp = u64::MAX;
+        for way in 0..l1.assoc {
+            let i = base1 + way;
+            if l1.tags[i] == tag && l1.states[i] != LineState::Invalid {
+                break 'lines; // L1-resident: the hit sweep owns it
+            }
+            if l1.states[i] == LineState::Invalid {
+                if invalid_way == usize::MAX {
+                    invalid_way = i;
+                }
+            } else if l1.stamps[i] < lru_stamp {
+                lru_stamp = l1.stamps[i];
+                lru_way = i;
+            }
+        }
+        // Peek L2 without mutating: the stopping line must be left exactly
+        // as the per-line path expects to find it.
+        let base2 = l2.set_of(line) * l2.assoc;
+        let mut found = usize::MAX;
+        for way in 0..l2.assoc {
+            let i = base2 + way;
+            if l2.tags[i] == tag && l2.states[i] != LineState::Invalid {
+                found = i;
+                break;
+            }
+        }
+        if found == usize::MAX || (write && l2.states[found] == LineState::Shared) {
+            break;
+        }
+        // Commit in the per-line order: L1 probe tick, L2 probe tick +
+        // stamp + promotion, L1 install tick + victim overwrite (the
+        // victim is dropped silently, exactly as the per-line walk does
+        // under inclusion).
+        l1.clock += 1;
+        l2.clock += 1;
+        l2.stamps[found] = l2.clock;
+        let state = if write {
+            l2.states[found] = LineState::Modified;
+            LineState::Modified
+        } else {
+            l2.states[found]
+        };
+        let w = if invalid_way != usize::MAX { invalid_way } else { lru_way };
+        l1.clock += 1;
+        l1.tags[w] = tag;
+        l1.states[w] = state;
+        l1.stamps[w] = l1.clock;
+        line += 1;
+    }
+    line - first
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,7 +398,7 @@ mod tests {
         let mut c = Cache::new(4, 2);
         assert!(matches!(c.probe(10, false), Probe::Miss { victim: None }));
         c.install(10, LineState::Shared);
-        assert_eq!(c.probe(10, false), Probe::Hit);
+        assert_eq!(c.probe(10, false), Probe::Hit(LineState::Shared));
         assert_eq!(c.state(10), Some(LineState::Shared));
     }
 
@@ -262,14 +409,14 @@ mod tests {
         assert_eq!(c.probe(10, true), Probe::UpgradeNeeded);
         c.upgrade(10);
         assert_eq!(c.state(10), Some(LineState::Modified));
-        assert_eq!(c.probe(10, true), Probe::Hit);
+        assert_eq!(c.probe(10, true), Probe::Hit(LineState::Modified));
     }
 
     #[test]
     fn write_hit_on_exclusive_promotes_silently() {
         let mut c = Cache::new(4, 2);
         c.install(10, LineState::Exclusive);
-        assert_eq!(c.probe(10, true), Probe::Hit);
+        assert_eq!(c.probe(10, true), Probe::Hit(LineState::Modified));
         assert_eq!(c.state(10), Some(LineState::Modified));
     }
 
@@ -279,7 +426,7 @@ mod tests {
         c.install(0, LineState::Modified);
         c.install(1, LineState::Shared);
         // Touch line 0 so line 1 is LRU.
-        assert_eq!(c.probe(0, false), Probe::Hit);
+        assert_eq!(c.probe(0, false), Probe::Hit(LineState::Modified));
         match c.probe(2, false) {
             Probe::Miss { victim: Some(v) } => {
                 assert_eq!(v.line, 1);
@@ -317,7 +464,7 @@ mod tests {
             c.install(line, LineState::Shared);
         }
         for line in 0..4u64 {
-            assert_eq!(c.probe(line, false), Probe::Hit, "line {line}");
+            assert_eq!(c.probe(line, false), Probe::Hit(LineState::Shared), "line {line}");
         }
         assert_eq!(c.resident(), 4);
         // Line 4 maps to set 0 and evicts line 0 only.
@@ -368,7 +515,7 @@ mod physical_index_tests {
         for line in [0u64, 12345, 999_999, 1 << 40] {
             assert!(matches!(c.probe(line, false), Probe::Miss { .. }));
             c.install(line, LineState::Exclusive);
-            assert_eq!(c.probe(line, false), Probe::Hit, "line {line}");
+            assert_eq!(c.probe(line, false), Probe::Hit(LineState::Exclusive), "line {line}");
         }
     }
 }

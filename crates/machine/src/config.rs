@@ -156,6 +156,22 @@ pub struct MachineConfig {
     /// conformance oracle) turn it on; timing runs keep the hot path free.
     #[serde(default)]
     pub race_detector: bool,
+
+    /// Enable the streamed-run fast path in `touch_run`: per-page TLB
+    /// batching plus a per-PE last-line hint that short-circuits repeated
+    /// touches of the line the PE just accessed. Also selects the race
+    /// detector's bulk range processing (group-at-a-time happens-before
+    /// checks with lazy state allocation). Provably bit-identical to the
+    /// per-line protocol walk and the scalar per-element detector (debug
+    /// builds assert the former on sampled runs; a differential test covers
+    /// the latter); disable only to measure the optimizations themselves or
+    /// to force the reference paths in equivalence tests.
+    #[serde(default = "default_true")]
+    pub fast_path: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl MachineConfig {
@@ -195,6 +211,7 @@ impl MachineConfig {
             physical_cache_indexing: true,
             fixed_cost_div: 1.0,
             race_detector: false,
+            fast_path: default_true(),
         }
     }
 

@@ -44,7 +44,7 @@ pub struct Delay {
 }
 
 /// Traffic recorded during one phase.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseTraffic {
     n_nodes: usize,
     /// Occupancy demanded at each node controller, in ns.

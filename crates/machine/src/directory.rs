@@ -27,7 +27,7 @@ const SHARED: u8 = 1;
 const EXCLUSIVE: u8 = 2;
 
 /// The directory: line index -> coherence metadata.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Directory {
     entries: Vec<Entry>,
 }

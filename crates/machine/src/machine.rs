@@ -30,7 +30,7 @@ pub enum Pattern {
     Scattered,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PeState {
     l1: Cache,
     cache: Cache,
@@ -38,12 +38,27 @@ struct PeState {
     time: f64,
     brk: TimeBreakdown,
     ev: EventCounters,
+    /// Fast-path hint: the line this PE touched most recently via
+    /// `touch_line` (`u64::MAX` = none). While the hint stands, the line is
+    /// the MRU entry of its L1 set and its page is the TLB's `last` page, so
+    /// a repeat touch can skip the whole protocol walk (see `touch_line` for
+    /// the exactness argument). Cleared whenever an action outside this PE's
+    /// own `touch_line` flow changes the line's cache state.
+    hint_line: u64,
+    /// Whether the hinted line was last touched by a *write* (L1 and L2 both
+    /// Modified and MRU). Required for a repeat write to take the fast path;
+    /// a read-established hint must send the next write down the slow path
+    /// (its L2 stamp/state update is observable).
+    hint_write: bool,
 }
 
 impl PeState {
     /// Invalidate a line at every level; returns whether the L2 copy was
     /// dirty.
     fn invalidate_all(&mut self, line: u64) -> bool {
+        if line == self.hint_line {
+            self.hint_line = u64::MAX;
+        }
         self.l1.invalidate(line);
         self.cache.invalidate(line)
     }
@@ -51,13 +66,17 @@ impl PeState {
     /// Downgrade a line to Shared at every level; returns whether the L2
     /// copy was dirty.
     fn downgrade_all(&mut self, line: u64) -> bool {
+        if line == self.hint_line {
+            // Reads may still fast-path a Shared line; writes no longer can.
+            self.hint_write = false;
+        }
         self.l1.downgrade(line);
         self.cache.downgrade(line)
     }
 }
 
 /// The simulated CC-NUMA multiprocessor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     cfg: MachineConfig,
     topo: Topology,
@@ -81,7 +100,18 @@ pub struct Machine {
     /// Happens-before race detector; `None` keeps every access path free of
     /// detector work (see `MachineConfig::race_detector`).
     race: Option<RaceDetector>,
+    /// Debug-build sampling counter for the fast-path equivalence check:
+    /// every `EQUIV_SAMPLE_PERIOD`-th `touch_run` replays the legacy
+    /// per-line path on a clone of the machine and asserts identical
+    /// times, breakdowns, counters and phase traffic.
+    #[cfg(debug_assertions)]
+    equiv_tick: u64,
 }
+
+/// Sampling period of the debug fast-path equivalence check (one full
+/// machine clone per sampled run, so keep it sparse).
+#[cfg(debug_assertions)]
+const EQUIV_SAMPLE_PERIOD: u64 = 256;
 
 impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
@@ -107,6 +137,8 @@ impl Machine {
                 time: 0.0,
                 brk: TimeBreakdown::default(),
                 ev: EventCounters::default(),
+                hint_line: u64::MAX,
+                hint_write: false,
             })
             .collect();
         let node_of = (0..cfg.n_procs).map(|pe| topo.node_of(pe)).collect();
@@ -121,12 +153,20 @@ impl Machine {
             sections: vec![("(untagged)", vec![TimeBreakdown::default(); n_procs])],
             cur_section: 0,
             section_audit: false,
-            race: if cfg.race_detector { Some(RaceDetector::new(n_procs)) } else { None },
+            race: if cfg.race_detector {
+                let mut det = RaceDetector::new(n_procs);
+                det.set_batching(cfg.fast_path);
+                Some(det)
+            } else {
+                None
+            },
             cfg,
             topo,
             mem,
             pes,
             node_of,
+            #[cfg(debug_assertions)]
+            equiv_tick: 0,
         }
     }
 
@@ -220,6 +260,10 @@ impl Machine {
                 self.pes[other].invalidate_all(line);
                 self.dir.remove_sharer(line, other);
             }
+        }
+        #[cfg(debug_assertions)]
+        for q in 0..self.cfg.n_procs {
+            self.debug_assert_hint(q, "copy_untimed exit");
         }
     }
 
@@ -340,6 +384,31 @@ impl Machine {
         }
     }
 
+    /// Debug invariant behind the repeat-touch fast path: whenever a hint is
+    /// set, the hinted line is resident in the PE's L1 (and Modified there
+    /// if `hint_write`). Checked at the boundaries of every operation that
+    /// can move lines, so a violation is pinned to the operation that
+    /// introduced it rather than to the much later touch that trips on it.
+    #[cfg(debug_assertions)]
+    fn debug_assert_hint(&self, pe: usize, site: &str) {
+        let s = &self.pes[pe];
+        if s.hint_line != u64::MAX {
+            let st = s.l1.state(s.hint_line);
+            assert!(
+                st.is_some(),
+                "hint invariant broken at {site}: pe {pe} hint line {} not in L1",
+                s.hint_line
+            );
+            if s.hint_write {
+                assert!(
+                    matches!(st, Some(LineState::Modified)),
+                    "hint invariant broken at {site}: pe {pe} line {} hint_write but L1 {st:?}",
+                    s.hint_line
+                );
+            }
+        }
+    }
+
     /// Timed scattered read of one element.
     #[inline]
     pub fn read_at(&mut self, pe: usize, arr: ArrayId, idx: usize) -> u32 {
@@ -398,47 +467,240 @@ impl Machine {
 
     /// Touch every line of `[off, off+len)` with the streamed pattern
     /// without moving data (used when the data is staged separately).
+    ///
+    /// With `MachineConfig::fast_path` on (the default), the run is walked
+    /// page-by-page: one TLB access per page instead of one per line
+    /// (within-page repeats are `last`-page no-ops in the per-line walk),
+    /// the last/first line addresses are derived arithmetically from a
+    /// single `addr_of` resolution, and repeat touches of the PE's hinted
+    /// line skip the protocol walk entirely. Debug builds assert on sampled
+    /// runs that this is bit-identical to the per-line reference path.
     pub fn touch_run(&mut self, pe: usize, arr: ArrayId, off: usize, len: usize, write: bool) {
         if len == 0 {
             return;
         }
+        #[cfg(debug_assertions)]
+        self.debug_assert_hint(pe, "touch_run entry");
         self.race_access(pe, arr, off, len, write);
-        let first = self.mem.addr_of(arr, off) >> self.line_shift;
-        let last = self.mem.addr_of(arr, off + len - 1) >> self.line_shift;
-        for line in first..=last {
-            self.touch_line(pe, line, write, Pattern::Streamed);
+        // Element addresses are linear (`base + 4*idx`), so one `addr_of`
+        // resolution pins the whole run.
+        let first_addr = self.mem.addr_of(arr, off);
+        let first = first_addr >> self.line_shift;
+        let last = (first_addr + 4 * (len as u64 - 1)) >> self.line_shift;
+        debug_assert_eq!(last, self.mem.addr_of(arr, off + len - 1) >> self.line_shift);
+
+        if !self.cfg.fast_path {
+            for line in first..=last {
+                self.touch_line_ref(pe, line, write, Pattern::Streamed);
+            }
+            #[cfg(debug_assertions)]
+            self.debug_assert_hint(pe, "touch_run slow exit");
+            return;
         }
+
+        #[cfg(debug_assertions)]
+        let reference = self.equiv_reference(pe, first, last, write);
+
+        let page_lines_shift = self.page_shift - self.line_shift;
+        let mut line = first;
+        // Sweep-attempt backoff. The bulk sweeps below are bitwise
+        // identical to the per-line walk *whenever* they are attempted, so
+        // the attempt policy is purely a host-time concern: on a cold
+        // stream (every line missing both caches) each attempt is two
+        // wasted tag scans per line. After `COLD_BACKOFF` consecutive
+        // fall-throughs to the heavyweight path we stop probing and only
+        // re-probe on every 16th line to detect a warm suffix.
+        const COLD_BACKOFF: u32 = 2;
+        let mut cold_streak: u32 = 0;
+        while line <= last {
+            let page = line >> page_lines_shift;
+            let end = (((page + 1) << page_lines_shift) - 1).min(last);
+            // One TLB access covers every line of this page: in the per-line
+            // reference walk, all touches after the first hit the TLB's
+            // `last`-page check and change nothing.
+            if !self.pes[pe].tlb.access(page) {
+                self.pes[pe].ev.tlb_misses += 1;
+                self.charge(pe, self.cfg.tlb_miss_ns, Bucket::Lmem);
+            }
+            while line <= end {
+                if cold_streak < COLD_BACKOFF || line & 15 == 0 {
+                    // Bulk warm-sweep: the longest prefix of consecutive L1
+                    // hits is processed inside one tight cache loop, with
+                    // state, stamp and clock effects bitwise identical to the
+                    // per-line walk (see `Cache::sweep_hits`). Warm streamed
+                    // re-reads never leave this branch.
+                    let s = &mut self.pes[pe];
+                    let swept = s.l1.sweep_hits(line, end, write);
+                    if swept > 0 {
+                        cold_streak = 0;
+                        let last_hit = line + swept - 1;
+                        if write {
+                            s.cache.sweep_keep_in_step(line, last_hit);
+                        }
+                        s.ev.l1_hits += swept;
+                        s.hint_line = last_hit;
+                        s.hint_write = write;
+                        line += swept;
+                        if line > end {
+                            break;
+                        }
+                    }
+                    // Next line misses L1: bulk-refill consecutive L2 hits
+                    // (again bitwise identical to the per-line walk; see
+                    // `cache::sweep_l2_refill`), charging per line to keep the
+                    // f64 accumulation order of the reference path.
+                    let s = &mut self.pes[pe];
+                    let refilled =
+                        crate::cache::sweep_l2_refill(&mut s.l1, &mut s.cache, line, end, write);
+                    if refilled > 0 {
+                        cold_streak = 0;
+                        s.ev.cache_hits += refilled;
+                        let last_hit = line + refilled - 1;
+                        s.hint_line = last_hit;
+                        s.hint_write = write;
+                        // Inlined per-line `charge` with the borrows hoisted:
+                        // same f64 accumulation sequence as the per-line walk.
+                        let l2_hit_ns = self.cfg.l2_hit_ns;
+                        let sec = &mut self.sections[self.cur_section].1[pe];
+                        for _ in 0..refilled {
+                            s.time += l2_hit_ns;
+                            s.brk.charge(Bucket::Lmem, l2_hit_ns);
+                            sec.charge(Bucket::Lmem, l2_hit_ns);
+                        }
+                        line += refilled;
+                        if line > end {
+                            break;
+                        }
+                        // The stopping line may itself be L1-resident (lines
+                        // already cached from earlier activity): let the hit
+                        // sweep reconsider it before the heavyweight path.
+                        continue;
+                    }
+                }
+                // Stopping line: the full L2/directory walk.
+                self.touch_line_post_tlb(pe, line, write, Pattern::Streamed);
+                cold_streak = cold_streak.saturating_add(1);
+                line += 1;
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        if let Some(reference) = reference {
+            self.assert_equiv(pe, &reference);
+        }
+        #[cfg(debug_assertions)]
+        self.debug_assert_hint(pe, "touch_run exit");
     }
 
-    /// The full coherence path for one line touch.
-    fn touch_line(&mut self, pe: usize, line: u64, write: bool, pat: Pattern) {
-        // --- TLB ---
+    /// Debug-build sampling for the fast-path equivalence assertion: every
+    /// `EQUIV_SAMPLE_PERIOD`-th streamed run, clone the machine and replay
+    /// the run through the legacy per-line path on the clone.
+    #[cfg(debug_assertions)]
+    fn equiv_reference(&mut self, pe: usize, first: u64, last: u64, write: bool) -> Option<Machine> {
+        self.equiv_tick = self.equiv_tick.wrapping_add(1);
+        if !self.equiv_tick.is_multiple_of(EQUIV_SAMPLE_PERIOD) {
+            return None;
+        }
+        let mut reference = self.clone();
+        for line in first..=last {
+            reference.touch_line_ref(pe, line, write, Pattern::Streamed);
+        }
+        Some(reference)
+    }
+
+    /// Assert that the fast path left `pe` with exactly the observable state
+    /// the per-line reference path produces. Cache stamps and clock values
+    /// may legitimately differ (the fast path skips re-stamping MRU lines,
+    /// which preserves every LRU *order*), so the comparison covers the
+    /// simulation's outputs: time, breakdowns, event counters and the phase
+    /// traffic fed to the contention model.
+    #[cfg(debug_assertions)]
+    fn assert_equiv(&self, pe: usize, reference: &Machine) {
+        assert_eq!(
+            self.pes[pe].time, reference.pes[pe].time,
+            "fast path diverged from reference on pe {pe}: time"
+        );
+        assert_eq!(
+            self.pes[pe].brk, reference.pes[pe].brk,
+            "fast path diverged from reference on pe {pe}: breakdown"
+        );
+        assert_eq!(
+            self.pes[pe].ev, reference.pes[pe].ev,
+            "fast path diverged from reference on pe {pe}: events"
+        );
+        assert_eq!(
+            self.traffic, reference.traffic,
+            "fast path diverged from reference on pe {pe}: phase traffic"
+        );
+    }
+
+    /// The per-line reference path: exactly the pre-fast-path `touch_line`.
+    /// Used when `MachineConfig::fast_path` is off and by the debug
+    /// equivalence sampler; never consults the hint.
+    fn touch_line_ref(&mut self, pe: usize, line: u64, write: bool, pat: Pattern) {
         let page = (line << self.line_shift) >> self.page_shift;
         if !self.pes[pe].tlb.access(page) {
             self.pes[pe].ev.tlb_misses += 1;
             self.charge(pe, self.cfg.tlb_miss_ns, Bucket::Lmem);
         }
+        self.touch_line_post_tlb(pe, line, write, pat);
+    }
 
-        let home = self.mem.home_of_line(line);
-        let my_node = self.node_of[pe];
+    /// The full coherence path for one line touch.
+    ///
+    /// Fast path: if `line` is the PE's hinted line (its most recent touch),
+    /// the whole walk below is a no-op apart from the `l1_hits` counter.
+    /// Exactness: the hint guarantees (a) the line's page is the TLB's
+    /// `last` page, so the TLB access would hit without touching any state;
+    /// (b) the line is resident and MRU in its L1 set (every `touch_line`
+    /// exit leaves it so), so the L1 probe would hit and its re-stamp of an
+    /// already-MRU line cannot change any future LRU decision; (c) for
+    /// writes, `hint_write` additionally guarantees L1 and L2 both hold the
+    /// line Modified and MRU, so the L2 keep-in-step probe is equally a
+    /// relative no-op. Anything that breaks these guarantees from outside
+    /// the PE's own touch flow (coherence invalidations/downgrades, DMA
+    /// installs, fault injection) clears the hint.
+    fn touch_line(&mut self, pe: usize, line: u64, write: bool, pat: Pattern) {
+        #[cfg(debug_assertions)]
+        self.debug_assert_hint(pe, "touch_line entry");
+        if self.cfg.fast_path {
+            let s = &self.pes[pe];
+            if s.hint_line == line && (!write || s.hint_write) {
+                self.pes[pe].ev.l1_hits += 1;
+                return;
+            }
+        }
+        self.touch_line_ref(pe, line, write, pat);
+        #[cfg(debug_assertions)]
+        self.debug_assert_hint(pe, "touch_line exit");
+    }
 
+    /// Everything after the TLB: L1 filter, L2 probe, directory protocol.
+    /// Leaves the hint pointing at `line`.
+    fn touch_line_post_tlb(&mut self, pe: usize, line: u64, write: bool, pat: Pattern) {
         // L1 filter: a hit here is free (folded into BUSY); an upgrade or
         // miss falls through to the L2/directory path below, which keeps
         // the two levels' states consistent.
-        if let Probe::Hit = self.pes[pe].l1.probe(line, write) {
+        if let Probe::Hit(_) = self.pes[pe].l1.probe(line, write) {
             if write {
                 // Keep the L2 state in step with the silently-promoted L1.
                 self.pes[pe].cache.probe(line, true);
             }
             self.pes[pe].ev.l1_hits += 1;
+            let s = &mut self.pes[pe];
+            s.hint_line = line;
+            s.hint_write = write;
             return;
         }
 
+        let home = self.mem.home_of_line(line);
+        let my_node = self.node_of[pe];
+
         match self.pes[pe].cache.probe(line, write) {
-            Probe::Hit => {
+            Probe::Hit(state) => {
                 self.pes[pe].ev.cache_hits += 1;
-                // L1 refill from L2 (no protocol action).
-                let state = self.pes[pe].cache.state(line).unwrap_or(LineState::Shared);
+                // L1 refill from L2 (no protocol action); the probe already
+                // carries the post-access state, sparing a second tag walk.
                 self.pes[pe].l1.install(line, state);
                 self.charge(pe, self.cfg.l2_hit_ns, Bucket::Lmem);
             }
@@ -580,6 +842,17 @@ impl Machine {
                 }
             }
         }
+        // The hint is only exact when the line actually sits in L1: the
+        // UpgradeNeeded arm can run with the line held in L2 alone (its L1
+        // copy was evicted earlier), in which case `l1.upgrade` is a no-op
+        // and a repeat touch must still pay the L1-miss L2-refill charge.
+        let s = &mut self.pes[pe];
+        if s.l1.state(line).is_some() {
+            s.hint_line = line;
+            s.hint_write = write;
+        } else {
+            s.hint_line = u64::MAX;
+        }
     }
 
     #[inline]
@@ -629,6 +902,11 @@ impl Machine {
         if len == 0 {
             return 0.0;
         }
+        #[cfg(debug_assertions)]
+        self.debug_assert_hint(pe, "dma_copy entry");
+        // The installs below reshuffle the initiator's L2 sets behind the
+        // hint's back; drop it rather than reason about overlap.
+        self.pes[pe].hint_line = u64::MAX;
         self.race_access(pe, src, src_off, len, false);
         self.race_access(pe, dst, dst_off, len, true);
         self.mem.copy(src, src_off, dst, dst_off, len);
@@ -699,6 +977,10 @@ impl Machine {
         // per-message costs it is divided by the machine scale to keep its
         // weight relative to the Θ(n) work (see `MachineConfig`).
         let lat = self.topo.node_latency(src_home, dst_home);
+        #[cfg(debug_assertions)]
+        for q in 0..self.cfg.n_procs {
+            self.debug_assert_hint(q, "dma_copy exit");
+        }
         lat / self.cfg.fixed_cost_div + bytes / self.cfg.link_bw_bytes_per_ns
     }
 
@@ -970,7 +1252,10 @@ impl Machine {
     /// bugs; the simulator itself never calls it.
     pub fn inject_stale_sharer(&mut self, pe: usize, arr: ArrayId, idx: usize) {
         let line = self.mem.addr_of(arr, idx) >> self.line_shift;
+        self.pes[pe].hint_line = u64::MAX;
         self.pes[pe].cache.install(line, LineState::Shared);
+        #[cfg(debug_assertions)]
+        self.debug_assert_hint(pe, "inject_stale_sharer exit");
     }
 
     /// Turn the happens-before race detector on or off mid-run. Turning it
@@ -979,7 +1264,9 @@ impl Machine {
     pub fn set_race_detector(&mut self, on: bool) {
         if on {
             if self.race.is_none() {
-                self.race = Some(RaceDetector::new(self.cfg.n_procs));
+                let mut det = RaceDetector::new(self.cfg.n_procs);
+                det.set_batching(self.cfg.fast_path);
+                self.race = Some(det);
             }
         } else {
             self.race = None;
@@ -1212,6 +1499,56 @@ mod tests {
         // Everyone should have been pushed past their uncontended time.
         let after = m.now(0);
         assert!(after > before.iter().cloned().fold(0.0, f64::max));
+    }
+
+    /// The streamed fast path (hint + per-page TLB batching) must be
+    /// observationally identical to the per-line reference walk. Drive the
+    /// same pseudo-random schedule — scattered reads/writes, streamed runs,
+    /// DMA, barriers, so every hint-invalidation path fires — through a
+    /// fast-path machine and a reference machine and require bit-identical
+    /// clocks, breakdowns and event counters on every PE.
+    #[test]
+    fn fast_path_matches_reference_on_mixed_schedule() {
+        let run = |fast: bool| {
+            let mut cfg = MachineConfig::origin2000(4);
+            cfg.l2 = crate::config::CacheGeom { size: 16 * 1024, assoc: 2, line: 128 };
+            cfg.page_size = 4096;
+            cfg.tlb_entries = 16;
+            cfg.fast_path = fast;
+            let mut m = Machine::new(cfg);
+            let a = m.alloc(4096, Placement::Partitioned { parts: 4 }, "a");
+            let b = m.alloc(1024, Placement::Node(1), "b");
+            let mut x = 0x5EEDu64;
+            let mut rng = |md: usize| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as usize % md
+            };
+            for _ in 0..400 {
+                let pe = rng(4);
+                match rng(10) {
+                    0 => m.barrier(),
+                    1 => {
+                        let t = m.dma_copy(pe, a, rng(3072), b, rng(500), 1 + rng(500), rng(2) == 0);
+                        m.charge(pe, t, Bucket::Rmem);
+                    }
+                    2 | 3 => m.write_at(pe, a, rng(4096), 1),
+                    4 | 5 => {
+                        let _ = m.read_at(pe, a, rng(4096));
+                    }
+                    6 | 7 => {
+                        let off = rng(3000);
+                        m.touch_run(pe, a, off, 1 + rng(1000), true);
+                    }
+                    _ => {
+                        let off = rng(3000);
+                        m.touch_run(pe, a, off, 1 + rng(1000), false);
+                    }
+                }
+            }
+            m.barrier();
+            (0..4).map(|pe| (m.now(pe), m.breakdown(pe), m.events(pe))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

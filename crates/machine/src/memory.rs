@@ -33,7 +33,7 @@ pub enum Placement {
     Interleaved,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct SimArray {
     pub base: u64,
     pub data: Vec<u32>,
@@ -41,7 +41,7 @@ pub(crate) struct SimArray {
 }
 
 /// The linear simulated address space holding all arrays.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AddressSpace {
     arrays: Vec<SimArray>,
     /// Home node per page, indexed by page number.

@@ -119,7 +119,7 @@ pub struct MsgToken(pub(crate) Option<Box<[u32]>>);
 /// `MachineConfig::race_detector` (or [`crate::Machine::set_race_detector`])
 /// turns it on; all methods are driven from the machine's access and sync
 /// paths.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RaceDetector {
     p: usize,
     vc: Vec<Vec<u32>>,
@@ -140,6 +140,13 @@ pub struct RaceDetector {
     /// missing edge. Mirrors `Machine::inject_stale_sharer`: exists so tests
     /// can prove the detector fires on a planted missing-barrier bug.
     inject_skip_barrier: Option<usize>,
+    /// Use the bulk group-at-a-time range paths (the default). Off, every
+    /// range access runs the original scalar per-element FastTrack loop with
+    /// eager full-array state allocation — the pre-optimization cost model,
+    /// kept selectable so `MachineConfig::fast_path = false` reproduces it
+    /// and benchmarks can measure the batching itself. Reports are
+    /// identical either way (see the differential test).
+    batch: bool,
 }
 
 impl RaceDetector {
@@ -160,7 +167,14 @@ impl RaceDetector {
             suppressed: 0,
             barriers_seen: 0,
             inject_skip_barrier: None,
+            batch: true,
         }
+    }
+
+    /// Select bulk (`true`, default) or scalar per-element (`false`) range
+    /// processing. Purely a host-cost knob: detection results are identical.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batch = on;
     }
 
     /// Races recorded so far (deduplicated per (kind, PEs, array) class).
@@ -209,7 +223,16 @@ impl RaceDetector {
     }
 
     /// Record a range access `[off, off + n)` by `pe` on array `arr` (with
-    /// `len` total elements, for lazy registration).
+    /// `len` total elements, documenting the array's bound).
+    ///
+    /// Streamed runs dominate the detector's workload, and after the first
+    /// pass over an array their per-element states are uniform over long
+    /// stretches (same last-writer epoch, same last-reader epoch). The bulk
+    /// paths below exploit that: maximal subranges with identical
+    /// epoch-compressed state get *one* happens-before check and a bulk
+    /// state fill, so the cost is O(state groups) instead of O(elements) of
+    /// full FastTrack logic. Element state is also allocated lazily up to
+    /// the touched prefix only, not pre-sized to the full array.
     #[allow(clippy::too_many_arguments)]
     pub fn range_access(
         &mut self,
@@ -225,13 +248,151 @@ impl RaceDetector {
         if n == 0 {
             return;
         }
-        self.ensure(arr, len);
-        for idx in off..off + n {
-            if write {
-                self.write(pe, arr, name, idx, section);
-            } else {
-                self.read(pe, arr, name, idx, section);
+        debug_assert!(off + n <= len, "access [{off}, {}) outside array of {len}", off + n);
+        if !self.batch {
+            // Reference path: eager full-length allocation, scalar loop.
+            self.ensure(arr, len);
+            for idx in off..off + n {
+                if write {
+                    self.write(pe, arr, name, idx, section);
+                } else {
+                    self.read(pe, arr, name, idx, section);
+                }
             }
+            return;
+        }
+        self.ensure(arr, off + n);
+        if n == 1 {
+            if write {
+                self.write(pe, arr, name, off, section);
+            } else {
+                self.read(pe, arr, name, off, section);
+            }
+        } else if write {
+            self.write_range(pe, arr, name, off, n, section);
+        } else {
+            self.read_range(pe, arr, name, off, n, section);
+        }
+    }
+
+    /// Scan forward from `i` (exclusive) to `end` for the maximal run of
+    /// elements sharing the epoch-compressed state `(gw, gr, rvc=None)`.
+    fn group_end(&self, arr: usize, i: usize, end: usize, gw: Epoch, gr: Epoch) -> usize {
+        let mut j = i + 1;
+        while j < end {
+            let x = &self.vars[arr][j];
+            if x.rvc.is_some() || x.w != gw || x.r != gr {
+                break;
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Bulk write path; behaviourally identical to calling [`Self::write`]
+    /// per element (asserted by the differential test below). A racing
+    /// group of `k` elements reports once and suppresses `k - 1`: exactly
+    /// what `k` scalar calls do, since the first call either records the
+    /// class or suppresses it and the repeats always hit the `seen` set.
+    fn write_range(
+        &mut self,
+        pe: usize,
+        arr: usize,
+        name: &'static str,
+        off: usize,
+        n: usize,
+        section: &'static str,
+    ) {
+        let own = self.vc[pe][pe];
+        let end = off + n;
+        let mut i = off;
+        while i < end {
+            let x = &self.vars[arr][i];
+            if x.rvc.is_some() {
+                // Escalated read vectors are rare; scalar path.
+                self.write(pe, arr, name, i, section);
+                i += 1;
+                continue;
+            }
+            let (gw, gr) = (x.w, x.r);
+            let j = self.group_end(arr, i, end, gw, gr);
+            let k = (j - i) as u64;
+            // Same-epoch write: the whole group is already recorded.
+            if gw.clk == own && gw.pe as usize == pe {
+                i = j;
+                continue;
+            }
+            if gw.clk > 0 && gw.pe as usize != pe && gw.clk > self.vc[pe][gw.pe as usize] {
+                self.report(RaceKind::WriteWrite, gw.pe as usize, pe, arr, name, i, section);
+                self.suppressed += k - 1;
+            }
+            if gr.clk > 0 && gr.pe as usize != pe && gr.clk > self.vc[pe][gr.pe as usize] {
+                self.report(RaceKind::ReadThenWrite, gr.pe as usize, pe, arr, name, i, section);
+                self.suppressed += k - 1;
+            }
+            let wnew = Epoch { clk: own, pe: pe as u32 };
+            for x in &mut self.vars[arr][i..j] {
+                x.w = wnew;
+                x.r = Epoch::default();
+            }
+            i = j;
+        }
+    }
+
+    /// Bulk read path; behaviourally identical to calling [`Self::read`]
+    /// per element.
+    fn read_range(
+        &mut self,
+        pe: usize,
+        arr: usize,
+        name: &'static str,
+        off: usize,
+        n: usize,
+        section: &'static str,
+    ) {
+        let own = self.vc[pe][pe];
+        let end = off + n;
+        let mut i = off;
+        while i < end {
+            let x = &self.vars[arr][i];
+            if x.rvc.is_some() {
+                self.read(pe, arr, name, i, section);
+                i += 1;
+                continue;
+            }
+            let (gw, gr) = (x.w, x.r);
+            let j = self.group_end(arr, i, end, gw, gr);
+            let k = (j - i) as u64;
+            // Same-epoch read: already recorded.
+            if gr.clk == own && gr.pe as usize == pe {
+                i = j;
+                continue;
+            }
+            // Write-read race: report once and leave the state untouched
+            // (the write already dominates these elements), as the scalar
+            // path does.
+            if gw.clk > 0 && gw.pe as usize != pe && gw.clk > self.vc[pe][gw.pe as usize] {
+                self.report(RaceKind::WriteThenRead, gw.pe as usize, pe, arr, name, i, section);
+                self.suppressed += k - 1;
+                i = j;
+                continue;
+            }
+            if gr.clk == 0 || gr.pe as usize == pe || gr.clk <= self.vc[pe][gr.pe as usize] {
+                // Previous read happens-before this one: stay exclusive.
+                let rnew = Epoch { clk: own, pe: pe as u32 };
+                for x in &mut self.vars[arr][i..j] {
+                    x.r = rnew;
+                }
+            } else {
+                // Two concurrent readers: escalate each element.
+                for x in &mut self.vars[arr][i..j] {
+                    let mut rv = vec![0u32; self.p].into_boxed_slice();
+                    rv[gr.pe as usize] = gr.clk;
+                    rv[pe] = own;
+                    x.rvc = Some(rv);
+                }
+            }
+            i = j;
         }
     }
 
@@ -485,6 +646,64 @@ mod tests {
         }
         assert_eq!(d.reports().len(), 1, "one report per (kind, pes, array) class");
         assert_eq!(d.suppressed(), 9);
+    }
+
+    #[test]
+    fn bulk_racing_run_reports_once_and_counts_rest() {
+        let mut d = RaceDetector::new(2);
+        d.range_access(0, 0, 64, "a", 0, 10, true, SEC);
+        d.range_access(1, 0, 64, "a", 0, 10, true, SEC);
+        assert_eq!(d.reports().len(), 1, "one report per (kind, pes, array) class");
+        assert_eq!(d.suppressed(), 9);
+    }
+
+    /// The bulk range paths must be observationally identical to the scalar
+    /// per-element paths: drive two detectors with the same pseudo-random
+    /// schedule of ranged accesses, barriers and release/acquire edges —
+    /// one taking the bulk path, the other element-by-element — and require
+    /// identical reports and suppression counts throughout.
+    #[test]
+    fn bulk_range_matches_elementwise_reference() {
+        let mut bulk = RaceDetector::new(4);
+        let mut elem = RaceDetector::new(4);
+        let mut x = 0xDEAD_BEEFu64;
+        let mut rng = |m: usize| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as usize % m
+        };
+        for _ in 0..600 {
+            let pe = rng(4);
+            match rng(10) {
+                0 => {
+                    bulk.barrier();
+                    elem.barrier();
+                }
+                1 => {
+                    let sub: &[usize] = if rng(2) == 0 { &[0, 1] } else { &[1, 2, 3] };
+                    bulk.barrier_subset(sub);
+                    elem.barrier_subset(sub);
+                }
+                2 => {
+                    let to = rng(4);
+                    let tb = bulk.release(pe);
+                    let te = elem.release(pe);
+                    bulk.acquire(to, &tb);
+                    elem.acquire(to, &te);
+                }
+                _ => {
+                    let off = rng(60);
+                    let n = 1 + rng(64 - off);
+                    let write = rng(2) == 0;
+                    bulk.range_access(pe, 0, 64, "a", off, n, write, SEC);
+                    for idx in off..off + n {
+                        elem.range_access(pe, 0, 64, "a", idx, 1, write, SEC);
+                    }
+                }
+            }
+            assert_eq!(bulk.reports(), elem.reports());
+            assert_eq!(bulk.suppressed(), elem.suppressed());
+        }
+        assert!(bulk.suppressed() > 0, "schedule should have exercised dedup");
     }
 
     #[test]

@@ -7,6 +7,41 @@
 //! chance) replacement policy — deterministic and a good stand-in for the
 //! hardware's random replacement without introducing randomness.
 
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplicative (Fibonacci) hasher for page numbers. The index map holds
+/// at most a few dozen entries and sits on the simulator's hottest path;
+/// the default SipHash dominates whole-run profiles if used here, while a
+/// single multiply mixes page numbers more than well enough.
+#[derive(Debug, Clone, Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("page keys hash through write_u64");
+    }
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct PageHashBuilder;
+
+impl BuildHasher for PageHashBuilder {
+    type Hasher = PageHasher;
+    #[inline]
+    fn build_hasher(&self) -> PageHasher {
+        PageHasher(0)
+    }
+}
+
 /// A fully-associative TLB with clock replacement.
 #[derive(Debug, Clone)]
 pub struct Tlb {
@@ -17,6 +52,10 @@ pub struct Tlb {
     hand: usize,
     /// Fast path: the most recently touched page.
     last: u64,
+    /// Mirror of `pages` for O(1) lookup: page number -> slot. Pages are
+    /// unique in the table (installs happen only on a miss), so the map is
+    /// a bijection with the occupied slots.
+    index: HashMap<u64, usize, PageHashBuilder>,
 }
 
 impl Tlb {
@@ -27,6 +66,7 @@ impl Tlb {
             referenced: vec![false; entries],
             hand: 0,
             last: u64::MAX,
+            index: HashMap::with_capacity_and_hasher(entries, PageHashBuilder),
         }
     }
 
@@ -37,18 +77,20 @@ impl Tlb {
             return true;
         }
         self.last = page;
-        for (i, p) in self.pages.iter().enumerate() {
-            if *p == page {
-                self.referenced[i] = true;
-                return true;
-            }
+        if let Some(&i) = self.index.get(&page) {
+            self.referenced[i] = true;
+            return true;
         }
         // Miss: find a slot with the clock hand.
         loop {
             let i = self.hand;
             self.hand = (self.hand + 1) % self.pages.len();
             if self.pages[i] == u64::MAX || !self.referenced[i] {
+                if self.pages[i] != u64::MAX {
+                    self.index.remove(&self.pages[i]);
+                }
                 self.pages[i] = page;
+                self.index.insert(page, i);
                 self.referenced[i] = true;
                 return false;
             }
@@ -62,6 +104,7 @@ impl Tlb {
         self.referenced.fill(false);
         self.hand = 0;
         self.last = u64::MAX;
+        self.index.clear();
     }
 
     /// Number of mapped entries (diagnostics/tests).
@@ -110,6 +153,63 @@ mod tests {
         for _ in 0..100 {
             assert!(t.access(9));
         }
+    }
+
+    /// The original linear-scan implementation, kept as a reference model:
+    /// the `index` map is an invisible accelerator, so every access stream
+    /// must produce the identical hit/miss sequence and table contents.
+    struct RefTlb {
+        pages: Vec<u64>,
+        referenced: Vec<bool>,
+        hand: usize,
+        last: u64,
+    }
+
+    impl RefTlb {
+        fn access(&mut self, page: u64) -> bool {
+            if page == self.last {
+                return true;
+            }
+            self.last = page;
+            for (i, p) in self.pages.iter().enumerate() {
+                if *p == page {
+                    self.referenced[i] = true;
+                    return true;
+                }
+            }
+            loop {
+                let i = self.hand;
+                self.hand = (self.hand + 1) % self.pages.len();
+                if self.pages[i] == u64::MAX || !self.referenced[i] {
+                    self.pages[i] = page;
+                    self.referenced[i] = true;
+                    return false;
+                }
+                self.referenced[i] = false;
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_scan_reference() {
+        let mut t = Tlb::new(8);
+        let mut r = RefTlb {
+            pages: vec![u64::MAX; 8],
+            referenced: vec![false; 8],
+            hand: 0,
+            last: u64::MAX,
+        };
+        // Deterministic pseudo-random page stream with reuse (working set 13
+        // pages > 8 entries, so the clock hand churns constantly).
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let page = (x >> 33) % 13;
+            assert_eq!(t.access(page), r.access(page), "divergence at page {page}");
+        }
+        assert_eq!(t.pages, r.pages);
+        assert_eq!(t.referenced, r.referenced);
+        assert_eq!(t.hand, r.hand);
     }
 
     #[test]
