@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the batched scattered coherence walk: the
+//! scattered and permutation microprograms from [`ccsort_bench::hotpath`],
+//! across race detector on/off and p ∈ {1, 16, 64}, each with the batched
+//! fast path on and with the per-line reference walk (`fast_path = false`)
+//! over the identical submitted batches. These are the scattered rows of
+//! `BENCH_simulator.json` — `simbench` runs the identical cells once each;
+//! this harness gives them criterion's repeated-sampling treatment when a
+//! statistically careful comparison is needed.
+
+use ccsort_bench::hotpath::{run_cell, Program, GRID_PROCS};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_scattered(c: &mut Criterion) {
+    // Small enough that 10 samples of the slowest cell (permutation, race
+    // on, p = 64, reference path) stay in seconds on one core.
+    let n = 1 << 13;
+    let passes = 2;
+    for program in [Program::Scattered, Program::Permutation] {
+        for race in [false, true] {
+            let mut g = c.benchmark_group(format!(
+                "scattered_{}_race_{}",
+                program.name(),
+                if race { "on" } else { "off" }
+            ));
+            g.sample_size(10);
+            g.throughput(Throughput::Elements((n * passes) as u64));
+            for p in GRID_PROCS {
+                g.bench_function(format!("p{p}_batched"), |b| {
+                    b.iter(|| run_cell(program, p, race, true, n, passes).simulated_ns)
+                });
+                g.bench_function(format!("p{p}_reference"), |b| {
+                    b.iter(|| run_cell(program, p, race, false, n, passes).simulated_ns)
+                });
+            }
+            g.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_scattered);
+criterion_main!(benches);

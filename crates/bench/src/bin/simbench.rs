@@ -5,14 +5,16 @@
 //! simbench [--out <path>] [--quick]
 //! ```
 //!
-//! The grid is the one behind the `machine_hotpath` criterion bench:
-//! {streamed, scattered} × race detector {off, on} × p ∈ {1, 16, 64},
-//! each measured twice — with the streamed fast path on (current code) and
+//! The grid is the one behind the `machine_hotpath`/`machine_scattered`
+//! criterion benches: {streamed, scattered, permutation} × race detector
+//! {off, on} × p ∈ {1, 16, 64}, each measured twice — with the fast path
+//! on (current code: streamed runs plus the batched scattered walk) and
 //! off (the per-line reference walk, i.e. the pre-optimization cost
 //! model). The metric is simulated key touches per wall-clock second; the
 //! `speedup` field of each fast-path row is its throughput over the
-//! matching reference row, so the "≥ 2× on streamed-heavy programs" claim
-//! is directly readable from the file.
+//! matching reference row, so the "≥ 2× on streamed-heavy programs" and
+//! "≥ 2× on the batched scattered walk" claims are directly readable from
+//! the file.
 //!
 //! The JSON is written by hand rather than through serde so the format is
 //! identical on every toolchain the repo builds against.
@@ -57,7 +59,7 @@ fn main() {
 
     let t0 = Instant::now();
     let mut rows: Vec<(HotpathResult, f64)> = Vec::new();
-    for program in [Program::Streamed, Program::Scattered] {
+    for program in [Program::Streamed, Program::Scattered, Program::Permutation] {
         let passes = match program {
             Program::Streamed => {
                 if quick {
@@ -66,7 +68,7 @@ fn main() {
                     256
                 }
             }
-            Program::Scattered => {
+            Program::Scattered | Program::Permutation => {
                 if quick {
                     4
                 } else {

@@ -126,6 +126,7 @@ pub fn local_radix_sort(
     let bins = 1usize << r;
     let (mut src, mut dst) = (arr_a, arr_b);
     let mut buf = vec![0u32; BLOCK];
+    let mut dests = vec![0usize; BLOCK];
     for pass in 0..passes {
         let hist = local_histogram(m, pe, src, off..off + len, pass, r);
         m.busy_cycles(pe, costs::SCAN_CYC_PER_BIN * bins as f64);
@@ -136,12 +137,11 @@ pub fn local_radix_sort(
             m.read_run(pe, src, pos, &mut buf[..blk]);
             m.busy_cycles(pe, costs::PERMUTE_CYC_PER_KEY * blk as f64);
             for i in 0..blk {
-                let k = buf[i];
-                let d = digit(k, pass, r);
-                let dest = off + offsets[d] as usize;
+                let d = digit(buf[i], pass, r);
+                dests[i] = off + offsets[d] as usize;
                 offsets[d] += 1;
-                m.write_at(pe, dst, dest, k);
             }
+            m.scatter_run(pe, dst, &dests[..blk], &buf[..blk]);
             pos += blk;
         }
         std::mem::swap(&mut src, &mut dst);

@@ -50,19 +50,20 @@ pub fn sort(m: &mut Machine, keys: [ArrayId; 2], n: usize, r: u32, key_bits: u32
 
             let range = part_range(n, p, pe);
             let mut buf = vec![0u32; BLOCK];
+            let mut dests = vec![0usize; BLOCK];
             let mut pos = range.start;
             while pos < range.end {
                 let blk = BLOCK.min(range.end - pos);
                 m.read_run(pe, src, pos, &mut buf[..blk]);
                 m.busy_cycles(pe, costs::PERMUTE_CYC_PER_KEY * blk as f64);
-                for &k in &buf[..blk] {
+                for (i, &k) in buf[..blk].iter().enumerate() {
                     let d = digit(k, pass, r);
-                    let dest = offsets[d] as usize;
+                    dests[i] = offsets[d] as usize;
                     offsets[d] += 1;
-                    // The defining access of this program: a fine-grained
-                    // write into another process's partition.
-                    m.write_at(pe, dst, dest, k);
                 }
+                // The defining access of this program: fine-grained writes
+                // into other processes' partitions, issued as one batch.
+                m.scatter_run(pe, dst, &dests[..blk], &buf[..blk]);
                 pos += blk;
             }
         }

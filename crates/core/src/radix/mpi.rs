@@ -90,6 +90,7 @@ pub fn sort(
             let lscan = exclusive_scan(&hists[pe]);
             let mut cursors = lscan.clone();
             let mut buf = vec![0u32; BLOCK];
+            let mut dests = vec![0usize; BLOCK];
             let mut pos = range.start;
             while pos < range.end {
                 let blk = BLOCK.min(range.end - pos);
@@ -98,12 +99,12 @@ pub fn sort(
                     pe,
                     (costs::PERMUTE_CYC_PER_KEY + costs::BUFFER_EXTRA_CYC_PER_KEY) * blk as f64,
                 );
-                for &k in &buf[..blk] {
+                for (i, &k) in buf[..blk].iter().enumerate() {
                     let d = digit(k, pass, r);
-                    let dest = base + cursors[d] as usize;
+                    dests[i] = base + cursors[d] as usize;
                     cursors[d] += 1;
-                    m.write_at(pe, stage, dest, k);
                 }
+                m.scatter_run(pe, stage, &dests[..blk], &buf[..blk]);
                 pos += blk;
             }
 

@@ -66,6 +66,7 @@ pub fn sort(m: &mut Machine, keys: [ArrayId; 2], n: usize, r: u32, key_bits: u32
             let base = range.start;
             let mut cursors = lscans[pe].clone();
             let mut buf = vec![0u32; BLOCK];
+            let mut dests = vec![0usize; BLOCK];
             let mut pos = range.start;
             while pos < range.end {
                 let blk = BLOCK.min(range.end - pos);
@@ -74,12 +75,12 @@ pub fn sort(m: &mut Machine, keys: [ArrayId; 2], n: usize, r: u32, key_bits: u32
                     pe,
                     (costs::PERMUTE_CYC_PER_KEY + costs::BUFFER_EXTRA_CYC_PER_KEY) * blk as f64,
                 );
-                for &k in &buf[..blk] {
+                for (i, &k) in buf[..blk].iter().enumerate() {
                     let d = digit(k, pass, r);
-                    let dest = base + cursors[d] as usize;
+                    dests[i] = base + cursors[d] as usize;
                     cursors[d] += 1;
-                    m.write_at(pe, stage, dest, k);
                 }
+                m.scatter_run(pe, stage, &dests[..blk], &buf[..blk]);
                 pos += blk;
             }
         }

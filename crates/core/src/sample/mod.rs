@@ -22,8 +22,8 @@ pub mod ccsas;
 pub mod mpi;
 pub mod shmem;
 
-use ccsort_machine::{ArrayId, Machine, Pattern, Placement};
-use ccsort_models::{cpu_copy, read_fixed, write_fixed, Mpi, MpiMode, Shmem};
+use ccsort_machine::{ArrayId, Machine, Placement};
+use ccsort_models::{cpu_copy, gather_scattered, read_fixed, write_fixed, Mpi, MpiMode, Shmem};
 
 use crate::common::{local_radix_sort, n_passes, part_range};
 use crate::costs;
@@ -138,18 +138,15 @@ pub fn sort_with(
     for pe in 0..p {
         let range = part_range(n, p, pe);
         let len = range.len();
-        let mut local_samples = Vec::with_capacity(s);
+        let mut local_samples = vec![0u32; s];
         m.busy_cycles_fixed(pe, costs::SELECT_CYC_PER_SAMPLE * s as f64);
         let timed = m.fixed_prefix(s);
-        for k in 0..s {
-            let idx = range.start + strategy.index(pe, k, s, len);
-            // Sampling is fixed-size work: time a representative prefix.
-            let v = if k < timed {
-                m.read_pat(pe, sorted, idx, Pattern::Scattered)
-            } else {
-                m.raw(sorted)[idx]
-            };
-            local_samples.push(v);
+        let idxs: Vec<usize> = (0..s).map(|k| range.start + strategy.index(pe, k, s, len)).collect();
+        // Sampling is fixed-size work: time a representative prefix as one
+        // batched gather; the remainder is read untimed.
+        gather_scattered(m, pe, sorted, &idxs[..timed], &mut local_samples[..timed]);
+        for k in timed..s {
+            local_samples[k] = m.raw(sorted)[idxs[k]];
         }
         write_fixed(m, pe, samples, pe * s, &local_samples);
     }

@@ -1,9 +1,11 @@
 //! Set-associative write-back cache model with MESI line states.
 //!
 //! The cache operates at line granularity: callers translate element
-//! accesses to line touches. State is kept in flat arrays (one tag, state
-//! and LRU stamp per way) so a probe is a handful of array reads — cheap
-//! enough to invoke hundreds of millions of times in a simulation run.
+//! accesses to line touches. State is kept as one flat array of per-way
+//! records (tag + LRU stamp + state together) so a probe touches a single
+//! contiguous run of host memory — cheap enough to invoke hundreds of
+//! millions of times in a simulation run, and friendly to the host's own
+//! caches when the simulated access stream is scattered.
 
 /// Coherence state of a line in a processor's cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +42,67 @@ pub struct Victim {
     pub dirty: bool,
 }
 
+/// One way of one set: tag, LRU stamp and MESI state packed into 16 bytes
+/// so a probe's tag compare, stamp refresh and state transition all land on
+/// the same host cache line, and a 4 MB simulated L2's metadata shrinks to
+/// 512 KB per PE. (Three parallel arrays — the original layout — cost three
+/// distinct host lines per probe, which dominated the simulator's hot loop
+/// once the simulated access stream stopped being sequential.)
+///
+/// `meta` holds `stamp << 2 | state`. Every stamp is written right after a
+/// private clock increment, so stamps of valid ways are pairwise distinct;
+/// therefore comparing packed `meta` values orders ways exactly as
+/// comparing bare stamps would — the state bits in the low two positions
+/// can never decide — and the LRU victim choice is bit-identical to the
+/// unpacked representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    /// Global line index + 1 (0 = empty).
+    tag: u64,
+    /// `stamp << 2 | state` (state: 0 = Invalid, 1 = Shared, 2 = Exclusive,
+    /// 3 = Modified).
+    meta: u64,
+}
+
+const ST_INVALID: u64 = 0;
+const ST_SHARED: u64 = 1;
+const ST_EXCLUSIVE: u64 = 2;
+const ST_MODIFIED: u64 = 3;
+
+impl Way {
+    #[inline(always)]
+    fn state(self) -> LineState {
+        match self.meta & 3 {
+            ST_SHARED => LineState::Shared,
+            ST_EXCLUSIVE => LineState::Exclusive,
+            ST_MODIFIED => LineState::Modified,
+            _ => LineState::Invalid,
+        }
+    }
+
+    #[inline(always)]
+    fn valid(self) -> bool {
+        self.meta & 3 != ST_INVALID
+    }
+
+    #[inline(always)]
+    fn dirty(self) -> bool {
+        self.meta & 3 == ST_MODIFIED
+    }
+}
+
+#[inline(always)]
+fn state_code(state: LineState) -> u64 {
+    match state {
+        LineState::Invalid => ST_INVALID,
+        LineState::Shared => ST_SHARED,
+        LineState::Exclusive => ST_EXCLUSIVE,
+        LineState::Modified => ST_MODIFIED,
+    }
+}
+
+const EMPTY_WAY: Way = Way { tag: 0, meta: 0 };
+
 /// A set-associative cache indexed by global line number.
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -48,11 +111,8 @@ pub struct Cache {
     /// Log2 of lines per page, for physically-indexed set selection;
     /// `u32::MAX` disables page randomization (pure modulo indexing).
     page_lines_shift: u32,
-    /// `tags[set * assoc + way]` = global line index + 1 (0 = empty).
-    tags: Vec<u64>,
-    states: Vec<LineState>,
-    /// LRU stamps; larger = more recent.
-    stamps: Vec<u64>,
+    /// `ways[set * assoc + way]`.
+    ways: Vec<Way>,
     clock: u64,
 }
 
@@ -69,9 +129,7 @@ impl Cache {
             assoc,
             set_mask: (sets - 1) as u64,
             page_lines_shift: u32::MAX,
-            tags: vec![0; sets * assoc],
-            states: vec![LineState::Invalid; sets * assoc],
-            stamps: vec![0; sets * assoc],
+            ways: vec![EMPTY_WAY; sets * assoc],
             clock: 0,
         }
     }
@@ -117,20 +175,131 @@ impl Cache {
         self.clock += 1;
         let tag = line + 1;
         for way in 0..self.assoc {
-            let i = base + way;
-            if self.tags[i] == tag && self.states[i] != LineState::Invalid {
-                self.stamps[i] = self.clock;
+            let w = &mut self.ways[base + way];
+            if w.tag == tag && w.valid() {
                 if write {
-                    match self.states[i] {
-                        LineState::Shared => return Probe::UpgradeNeeded,
-                        LineState::Exclusive | LineState::Modified => {
-                            self.states[i] = LineState::Modified;
-                            return Probe::Hit(LineState::Modified);
+                    return match w.meta & 3 {
+                        ST_SHARED => {
+                            w.meta = (self.clock << 2) | ST_SHARED;
+                            Probe::UpgradeNeeded
                         }
-                        LineState::Invalid => unreachable!(),
-                    }
+                        _ => {
+                            w.meta = (self.clock << 2) | ST_MODIFIED;
+                            Probe::Hit(LineState::Modified)
+                        }
+                    };
                 }
-                return Probe::Hit(self.states[i]);
+                w.meta = (self.clock << 2) | (w.meta & 3);
+                return Probe::Hit(w.state());
+            }
+        }
+        // Miss: choose a victim way (prefer an invalid one).
+        let victim = self.pick_victim(set);
+        Probe::Miss { victim }
+    }
+
+    /// The page-frame component of [`Cache::set_of`] for a physically
+    /// indexed cache: every cache sharing the same `lines_per_page` maps
+    /// `line` through the same frame hash, so the batched walk computes it
+    /// once per element and feeds both the L1 and L2 probes.
+    #[inline(always)]
+    pub(crate) fn frame_of(page: u64) -> u64 {
+        let frame = page.wrapping_mul(PAGE_HASH_MULT);
+        frame ^ (frame >> 32)
+    }
+
+    /// Value-identical twin of [`Cache::probe`] for the batched scattered
+    /// walk: the same algorithm and state evolution, but force-inlined,
+    /// with the caller-precomputed page frame (see [`Cache::frame_of`])
+    /// replacing the per-probe `set_of` hash, and with the two-way shape —
+    /// both simulated levels are 2-way — laid out branch-minimally. A tag
+    /// can match at most one way (installs only happen after a miss
+    /// reported the line absent), so evaluating both ways and selecting is
+    /// identical to the reference's first-match scan. `probe` itself is
+    /// deliberately left semantically untouched — it is the per-element
+    /// reference walk's cost model, frozen by the fast-path equivalence
+    /// discipline — and the `probe_fast_matches_probe` differential test
+    /// drives both through a randomized probe/install stream asserting
+    /// identical results and identical final state.
+    /// Test-only convenience wrapper over [`Cache::probe_fast_ext`] (the
+    /// walk itself owns the clock for a whole batch; the differential tests
+    /// drive single probes).
+    #[cfg(test)]
+    pub(crate) fn probe_fast(&mut self, line: u64, frame: u64, write: bool) -> Probe {
+        let mut clock = self.clock;
+        let r = self.probe_fast_ext(line, frame, write, &mut clock);
+        self.clock = clock;
+        r
+    }
+
+    /// [`Cache::probe_fast`] with the LRU clock held in a caller-owned
+    /// local: the batched walk's data-move closure carries raw pointers, so
+    /// a clock living inside `self` would be spilled and reloaded every
+    /// element; a stack local the walk writes back once per batch stays in
+    /// a register. `*clock` sees exactly the same increment sequence.
+    #[inline(always)]
+    pub(crate) fn probe_fast_ext(
+        &mut self,
+        line: u64,
+        frame: u64,
+        write: bool,
+        clock: &mut u64,
+    ) -> Probe {
+        debug_assert_ne!(self.page_lines_shift, u32::MAX, "probe_fast needs physical indexing");
+        debug_assert_eq!(frame, Self::frame_of(line >> self.page_lines_shift));
+        let set = ((line ^ frame) & self.set_mask) as usize;
+        let base = set * self.assoc;
+        *clock += 1;
+        let clock = *clock;
+        let tag = line + 1;
+        if self.assoc == 2 {
+            // SAFETY: `set <= set_mask = sets - 1` by the mask above, so
+            // `base + 2 = set * assoc + assoc <= sets * assoc = ways.len()`.
+            let ways: &mut [Way] = unsafe { self.ways.get_unchecked_mut(base..base + 2) };
+            let hit0 = ways[0].tag == tag && ways[0].valid();
+            let hit1 = ways[1].tag == tag && ways[1].valid();
+            if hit0 | hit1 {
+                let w = &mut ways[usize::from(hit1)];
+                if write {
+                    return match w.meta & 3 {
+                        ST_SHARED => {
+                            w.meta = (clock << 2) | ST_SHARED;
+                            Probe::UpgradeNeeded
+                        }
+                        _ => {
+                            w.meta = (clock << 2) | ST_MODIFIED;
+                            Probe::Hit(LineState::Modified)
+                        }
+                    };
+                }
+                w.meta = (clock << 2) | (w.meta & 3);
+                return Probe::Hit(w.state());
+            }
+            // Miss: prefer an invalid way (reference scan order: way 0
+            // first), else evict the way with the older stamp.
+            if !ways[0].valid() || !ways[1].valid() {
+                return Probe::Miss { victim: None };
+            }
+            let v = &ways[usize::from(ways[1].meta < ways[0].meta)];
+            return Probe::Miss { victim: Some(Victim { line: v.tag - 1, dirty: v.dirty() }) };
+        }
+        let ways = &mut self.ways[base..base + self.assoc];
+        for w in ways.iter_mut() {
+            if w.tag == tag && w.valid() {
+                if write {
+                    return match w.meta & 3 {
+                        ST_SHARED => {
+                            w.meta = (clock << 2) | ST_SHARED;
+                            Probe::UpgradeNeeded
+                        }
+                        _ => {
+                            w.meta = (clock << 2) | ST_MODIFIED;
+                            Probe::Hit(LineState::Modified)
+                        }
+                    };
+                }
+                w.meta = (clock << 2) | (w.meta & 3);
+                return Probe::Hit(w.state());
             }
         }
         // Miss: choose a victim way (prefer an invalid one).
@@ -141,19 +310,19 @@ impl Cache {
     fn pick_victim(&self, set: usize) -> Option<Victim> {
         let base = set * self.assoc;
         let mut lru_way = 0;
-        let mut lru_stamp = u64::MAX;
+        let mut lru_meta = u64::MAX;
         for way in 0..self.assoc {
-            let i = base + way;
-            if self.states[i] == LineState::Invalid {
+            let w = &self.ways[base + way];
+            if !w.valid() {
                 return None; // room available; nothing evicted
             }
-            if self.stamps[i] < lru_stamp {
-                lru_stamp = self.stamps[i];
+            if w.meta < lru_meta {
+                lru_meta = w.meta;
                 lru_way = way;
             }
         }
-        let i = base + lru_way;
-        Some(Victim { line: self.tags[i] - 1, dirty: self.states[i] == LineState::Modified })
+        let w = &self.ways[base + lru_way];
+        Some(Victim { line: w.tag - 1, dirty: w.dirty() })
     }
 
     /// Install `line` in `state`, evicting the LRU way if the set is full.
@@ -168,29 +337,107 @@ impl Cache {
         // Prefer an invalid way, else evict LRU.
         let mut target = None;
         let mut lru_way = 0;
-        let mut lru_stamp = u64::MAX;
+        let mut lru_meta = u64::MAX;
         for way in 0..self.assoc {
-            let i = base + way;
-            if self.states[i] == LineState::Invalid {
+            let w = &self.ways[base + way];
+            if !w.valid() {
                 target = Some(way);
                 break;
             }
-            if self.stamps[i] < lru_stamp {
-                lru_stamp = self.stamps[i];
+            if w.meta < lru_meta {
+                lru_meta = w.meta;
                 lru_way = way;
             }
         }
         let way = target.unwrap_or(lru_way);
-        let i = base + way;
+        let w = &mut self.ways[base + way];
         let victim = if target.is_none() {
-            Some(Victim { line: self.tags[i] - 1, dirty: self.states[i] == LineState::Modified })
+            Some(Victim { line: w.tag - 1, dirty: w.dirty() })
         } else {
             None
         };
-        self.tags[i] = line + 1;
-        self.states[i] = state;
-        self.stamps[i] = self.clock;
+        w.tag = line + 1;
+        w.meta = (self.clock << 2) | state_code(state);
         victim
+    }
+
+    /// Value-identical twin of [`Cache::install`] for the batched walk:
+    /// caller-precomputed page frame, caller-owned LRU clock (see
+    /// [`Cache::probe_fast_ext`]) and the two-way shape laid out directly.
+    /// The reference scan prefers the first invalid way and way 0 is
+    /// checked first, which the specialized arm reproduces. Kept in lock
+    /// step with `install` by the `install_fast_matches_install`
+    /// differential test.
+    #[inline(always)]
+    pub(crate) fn install_fast(
+        &mut self,
+        line: u64,
+        frame: u64,
+        state: LineState,
+        clock: &mut u64,
+    ) -> Option<Victim> {
+        debug_assert!(state != LineState::Invalid);
+        debug_assert_ne!(self.page_lines_shift, u32::MAX, "install_fast needs physical indexing");
+        debug_assert_eq!(frame, Self::frame_of(line >> self.page_lines_shift));
+        let set = ((line ^ frame) & self.set_mask) as usize;
+        let base = set * self.assoc;
+        *clock += 1;
+        let clock = *clock;
+        if self.assoc == 2 {
+            // SAFETY: `set <= set_mask = sets - 1` by the mask above, so
+            // `base + 2 = set * assoc + assoc <= sets * assoc = ways.len()`.
+            let ways: &mut [Way] = unsafe { self.ways.get_unchecked_mut(base..base + 2) };
+            let (way, evict) = if !ways[0].valid() {
+                (0, false)
+            } else if !ways[1].valid() {
+                (1, false)
+            } else {
+                (usize::from(ways[1].meta < ways[0].meta), true)
+            };
+            let w = &mut ways[way];
+            let victim =
+                if evict { Some(Victim { line: w.tag - 1, dirty: w.dirty() }) } else { None };
+            w.tag = line + 1;
+            w.meta = (clock << 2) | state_code(state);
+            return victim;
+        }
+        let mut target = None;
+        let mut lru_way = 0;
+        let mut lru_meta = u64::MAX;
+        for way in 0..self.assoc {
+            let w = &self.ways[base + way];
+            if !w.valid() {
+                target = Some(way);
+                break;
+            }
+            if w.meta < lru_meta {
+                lru_meta = w.meta;
+                lru_way = way;
+            }
+        }
+        let way = target.unwrap_or(lru_way);
+        let w = &mut self.ways[base + way];
+        let victim = if target.is_none() {
+            Some(Victim { line: w.tag - 1, dirty: w.dirty() })
+        } else {
+            None
+        };
+        w.tag = line + 1;
+        w.meta = (clock << 2) | state_code(state);
+        victim
+    }
+
+    /// Read/write the LRU clock around a batched walk that runs it in a
+    /// caller-owned local (see [`Cache::probe_fast_ext`]).
+    #[inline(always)]
+    pub(crate) fn walk_clock(&self) -> u64 {
+        self.clock
+    }
+
+    #[inline(always)]
+    pub(crate) fn set_walk_clock(&mut self, clock: u64) {
+        debug_assert!(clock >= self.clock, "walk clock must not run backwards");
+        self.clock = clock;
     }
 
     /// Bulk warm-sweep over the consecutive lines `[first, last]`: process
@@ -210,19 +457,18 @@ impl Cache {
             let base = set * self.assoc;
             let tag = line + 1;
             for way in 0..self.assoc {
-                let i = base + way;
-                if self.tags[i] == tag && self.states[i] != LineState::Invalid {
-                    if write {
-                        match self.states[i] {
-                            LineState::Shared => break 'lines,
-                            LineState::Exclusive | LineState::Modified => {
-                                self.states[i] = LineState::Modified;
-                            }
-                            LineState::Invalid => unreachable!(),
+                let w = &mut self.ways[base + way];
+                if w.tag == tag && w.valid() {
+                    let state = if write {
+                        if w.meta & 3 == ST_SHARED {
+                            break 'lines;
                         }
-                    }
+                        ST_MODIFIED
+                    } else {
+                        w.meta & 3
+                    };
                     self.clock += 1;
-                    self.stamps[i] = self.clock;
+                    w.meta = (self.clock << 2) | state;
                     line += 1;
                     continue 'lines;
                 }
@@ -246,12 +492,10 @@ impl Cache {
             let base = set * self.assoc;
             let tag = line + 1;
             for way in 0..self.assoc {
-                let i = base + way;
-                if self.tags[i] == tag && self.states[i] != LineState::Invalid {
-                    self.stamps[i] = self.clock;
-                    if self.states[i] == LineState::Exclusive {
-                        self.states[i] = LineState::Modified;
-                    }
+                let w = &mut self.ways[base + way];
+                if w.tag == tag && w.valid() {
+                    let state = if w.meta & 3 == ST_EXCLUSIVE { ST_MODIFIED } else { w.meta & 3 };
+                    w.meta = (self.clock << 2) | state;
                     break;
                 }
             }
@@ -269,17 +513,16 @@ impl Cache {
     /// Promote a Shared line to Modified after an upgrade transaction.
     pub fn upgrade(&mut self, line: u64) {
         if let Some(i) = self.find(line) {
-            debug_assert_eq!(self.states[i], LineState::Shared);
-            self.states[i] = LineState::Modified;
+            debug_assert_eq!(self.ways[i].state(), LineState::Shared);
+            self.ways[i].meta = (self.ways[i].meta & !3) | ST_MODIFIED;
         }
     }
 
     /// Remove `line` if present; returns whether it was dirty.
     pub fn invalidate(&mut self, line: u64) -> bool {
         if let Some(i) = self.find(line) {
-            let dirty = self.states[i] == LineState::Modified;
-            self.states[i] = LineState::Invalid;
-            self.tags[i] = 0;
+            let dirty = self.ways[i].dirty();
+            self.ways[i] = EMPTY_WAY;
             dirty
         } else {
             false
@@ -290,8 +533,8 @@ impl Cache {
     /// returns whether it was dirty (data must be written back/forwarded).
     pub fn downgrade(&mut self, line: u64) -> bool {
         if let Some(i) = self.find(line) {
-            let dirty = self.states[i] == LineState::Modified;
-            self.states[i] = LineState::Shared;
+            let dirty = self.ways[i].dirty();
+            self.ways[i].meta = (self.ways[i].meta & !3) | ST_SHARED;
             dirty
         } else {
             false
@@ -300,19 +543,21 @@ impl Cache {
 
     /// Current state of `line`, if present.
     pub fn state(&self, line: u64) -> Option<LineState> {
-        self.find(line).map(|i| self.states[i])
+        self.find(line).map(|i| self.ways[i].state())
     }
 
     fn find(&self, line: u64) -> Option<usize> {
         let set = self.set_of(line);
         let base = set * self.assoc;
         let tag = line + 1;
-        (0..self.assoc).map(|w| base + w).find(|&i| self.tags[i] == tag && self.states[i] != LineState::Invalid)
+        (0..self.assoc)
+            .map(|w| base + w)
+            .find(|&i| self.ways[i].tag == tag && self.ways[i].valid())
     }
 
     /// Number of valid lines currently resident (diagnostics/tests).
     pub fn resident(&self) -> usize {
-        self.states.iter().filter(|s| **s != LineState::Invalid).count()
+        self.ways.iter().filter(|w| w.valid()).count()
     }
 }
 
@@ -337,18 +582,19 @@ pub fn sweep_l2_refill(l1: &mut Cache, l2: &mut Cache, first: u64, last: u64, wr
         let base1 = l1.set_of(line) * l1.assoc;
         let mut invalid_way = usize::MAX;
         let mut lru_way = base1;
-        let mut lru_stamp = u64::MAX;
+        let mut lru_meta = u64::MAX;
         for way in 0..l1.assoc {
             let i = base1 + way;
-            if l1.tags[i] == tag && l1.states[i] != LineState::Invalid {
+            let w = &l1.ways[i];
+            if w.tag == tag && w.valid() {
                 break 'lines; // L1-resident: the hit sweep owns it
             }
-            if l1.states[i] == LineState::Invalid {
+            if !w.valid() {
                 if invalid_way == usize::MAX {
                     invalid_way = i;
                 }
-            } else if l1.stamps[i] < lru_stamp {
-                lru_stamp = l1.stamps[i];
+            } else if w.meta < lru_meta {
+                lru_meta = w.meta;
                 lru_way = i;
             }
         }
@@ -358,12 +604,12 @@ pub fn sweep_l2_refill(l1: &mut Cache, l2: &mut Cache, first: u64, last: u64, wr
         let mut found = usize::MAX;
         for way in 0..l2.assoc {
             let i = base2 + way;
-            if l2.tags[i] == tag && l2.states[i] != LineState::Invalid {
+            if l2.ways[i].tag == tag && l2.ways[i].valid() {
                 found = i;
                 break;
             }
         }
-        if found == usize::MAX || (write && l2.states[found] == LineState::Shared) {
+        if found == usize::MAX || (write && l2.ways[found].meta & 3 == ST_SHARED) {
             break;
         }
         // Commit in the per-line order: L1 probe tick, L2 probe tick +
@@ -372,18 +618,11 @@ pub fn sweep_l2_refill(l1: &mut Cache, l2: &mut Cache, first: u64, last: u64, wr
         // under inclusion).
         l1.clock += 1;
         l2.clock += 1;
-        l2.stamps[found] = l2.clock;
-        let state = if write {
-            l2.states[found] = LineState::Modified;
-            LineState::Modified
-        } else {
-            l2.states[found]
-        };
+        let state = if write { ST_MODIFIED } else { l2.ways[found].meta & 3 };
+        l2.ways[found].meta = (l2.clock << 2) | state;
         let w = if invalid_way != usize::MAX { invalid_way } else { lru_way };
         l1.clock += 1;
-        l1.tags[w] = tag;
-        l1.states[w] = state;
-        l1.stamps[w] = l1.clock;
+        l1.ways[w] = Way { tag, meta: (l1.clock << 2) | state };
         line += 1;
     }
     line - first
@@ -516,6 +755,72 @@ mod physical_index_tests {
             assert!(matches!(c.probe(line, false), Probe::Miss { .. }));
             c.install(line, LineState::Exclusive);
             assert_eq!(c.probe(line, false), Probe::Hit(LineState::Exclusive), "line {line}");
+        }
+    }
+
+    /// `probe_fast` is the batched walk's force-inlined twin of `probe`:
+    /// drive both through the same randomized probe/install/invalidate
+    /// stream and assert identical results and identical final state.
+    /// Covered at both assoc = 2 (the specialized two-way shape the
+    /// simulated caches actually use) and assoc = 4 (the generic fallback).
+    #[test]
+    fn probe_fast_matches_probe() {
+        for assoc in [2, 4] {
+            let mut a = Cache::physically_indexed(64, assoc, 16);
+            let mut b = Cache::physically_indexed(64, assoc, 16);
+            let mut x = 0x0DDB_1A5E_5BAD_5EEDu64;
+            for step in 0..50_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let line = (x >> 33) % 200; // working set > capacity: misses churn
+                let write = x & 1 == 1;
+                let frame = Cache::frame_of(line >> b.page_lines_shift);
+                let pa = a.probe(line, write);
+                let pb = b.probe_fast(line, frame, write);
+                assert_eq!(pa, pb, "step {step}: probe result diverged on line {line}");
+                if let Probe::Miss { .. } = pa {
+                    let state = if write { LineState::Modified } else { LineState::Shared };
+                    assert_eq!(a.install(line, state), b.install(line, state), "step {step}");
+                }
+                if x & 0xF0 == 0 {
+                    assert_eq!(a.invalidate(line), b.invalidate(line), "step {step}");
+                }
+            }
+            assert_eq!(a.ways, b.ways, "assoc {assoc}");
+            assert_eq!(a.clock, b.clock, "assoc {assoc}");
+        }
+    }
+
+    /// Same discipline for `install_fast`: drive `install` and the batched
+    /// walk's twin (external clock, precomputed frame) through the same
+    /// randomized miss/install stream; results and final state must match.
+    #[test]
+    fn install_fast_matches_install() {
+        for assoc in [2, 4] {
+            let mut a = Cache::physically_indexed(64, assoc, 16);
+            let mut b = Cache::physically_indexed(64, assoc, 16);
+            let mut x = 0x1234_5678_9ABC_DEF0u64;
+            for step in 0..50_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let line = (x >> 33) % 300;
+                let write = x & 1 == 1;
+                let frame = Cache::frame_of(line >> b.page_lines_shift);
+                if let Probe::Miss { .. } = a.probe(line, write) {
+                    let state = if write { LineState::Modified } else { LineState::Exclusive };
+                    let va = a.install(line, state);
+                    let mut clock = b.walk_clock();
+                    // Keep b's clock in step with a's probe tick too.
+                    b.probe_fast_ext(line, frame, write, &mut clock);
+                    let vb = b.install_fast(line, frame, state, &mut clock);
+                    b.set_walk_clock(clock);
+                    assert_eq!(va, vb, "step {step}: victim diverged on line {line}");
+                } else {
+                    let mut clock = b.walk_clock();
+                    b.probe_fast_ext(line, frame, write, &mut clock);
+                    b.set_walk_clock(clock);
+                }
+            }
+            assert_eq!(a.ways, b.ways, "assoc {assoc}");
+            assert_eq!(a.clock, b.clock, "assoc {assoc}");
         }
     }
 }

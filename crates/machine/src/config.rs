@@ -157,14 +157,17 @@ pub struct MachineConfig {
     #[serde(default)]
     pub race_detector: bool,
 
-    /// Enable the streamed-run fast path in `touch_run`: per-page TLB
+    /// Enable the streamed-run fast path in `touch_run` (per-page TLB
     /// batching plus a per-PE last-line hint that short-circuits repeated
-    /// touches of the line the PE just accessed. Also selects the race
-    /// detector's bulk range processing (group-at-a-time happens-before
-    /// checks with lazy state allocation). Provably bit-identical to the
-    /// per-line protocol walk and the scalar per-element detector (debug
-    /// builds assert the former on sampled runs; a differential test covers
-    /// the latter); disable only to measure the optimizations themselves or
+    /// touches) and the scattered batch walk in `touch_batch` /
+    /// `scatter_run` / `gather_run` (one base/detector resolution per batch,
+    /// same-page TLB skip, flattened single-pass L1→L2 probing with the hit
+    /// arms inlined). Also selects the race detector's bulk range *and*
+    /// scattered-index processing (group-at-a-time happens-before checks
+    /// with lazy state allocation). Provably bit-identical to the per-line
+    /// protocol walk and the scalar per-element detector (debug builds
+    /// assert the former on sampled runs; differential tests cover the
+    /// latter); disable only to measure the optimizations themselves or
     /// to force the reference paths in equivalence tests.
     #[serde(default = "default_true")]
     pub fast_path: bool,

@@ -103,10 +103,26 @@ impl PhaseTraffic {
     /// * `node_of` — node of each processor.
     /// * `rho_cap` — saturation cap (e.g. 0.95).
     pub fn resolve(&self, elapsed: &[f64], node_of: &[usize], rho_cap: f64) -> Vec<Delay> {
+        let mut delays = Vec::new();
+        self.resolve_into(elapsed, node_of, rho_cap, &mut delays);
+        delays
+    }
+
+    /// [`PhaseTraffic::resolve`] into a caller-owned buffer, so the
+    /// per-phase hot path (`Machine::resolve_phase`) can reuse one scratch
+    /// allocation for the whole run. `delays` is cleared and refilled.
+    pub fn resolve_into(
+        &self,
+        elapsed: &[f64],
+        node_of: &[usize],
+        rho_cap: f64,
+        delays: &mut Vec<Delay>,
+    ) {
         let n_procs = elapsed.len();
-        let mut delays = vec![Delay::default(); n_procs];
+        delays.clear();
+        delays.resize(n_procs, Delay::default());
         if self.is_empty() {
-            return delays;
+            return;
         }
         let span = elapsed.iter().copied().fold(0.0_f64, f64::max).max(1e-9);
 
@@ -137,7 +153,6 @@ impl PhaseTraffic {
                 }
             }
         }
-        delays
     }
 }
 

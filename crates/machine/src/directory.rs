@@ -30,12 +30,18 @@ const EXCLUSIVE: u8 = 2;
 #[derive(Debug, Clone)]
 pub struct Directory {
     entries: Vec<Entry>,
+    /// Count of lines not in Unowned state, maintained incrementally by the
+    /// state transitions so [`Directory::owned_lines`] does not have to scan
+    /// every entry (it is called from diagnostics/audit paths that would
+    /// otherwise pay O(total lines) per call).
+    owned: usize,
 }
 
 impl Directory {
     pub fn new(total_lines: u64) -> Self {
         Directory {
             entries: vec![Entry { sharers: 0, owner: 0, state: UNOWNED }; total_lines as usize],
+            owned: 0,
         }
     }
 
@@ -67,6 +73,9 @@ impl Directory {
     #[inline]
     pub fn add_sharer(&mut self, line: u64, pe: usize) {
         let e = &mut self.entries[line as usize];
+        if e.state == UNOWNED {
+            self.owned += 1;
+        }
         e.sharers |= 1 << pe;
         e.state = SHARED;
     }
@@ -75,6 +84,9 @@ impl Directory {
     #[inline]
     pub fn set_exclusive(&mut self, line: u64, pe: usize) {
         let e = &mut self.entries[line as usize];
+        if e.state == UNOWNED {
+            self.owned += 1;
+        }
         e.sharers = 1 << pe;
         e.owner = pe as u8;
         e.state = EXCLUSIVE;
@@ -85,6 +97,9 @@ impl Directory {
     #[inline]
     pub fn set_unowned(&mut self, line: u64) {
         let e = &mut self.entries[line as usize];
+        if e.state != UNOWNED {
+            self.owned -= 1;
+        }
         e.sharers = 0;
         e.state = UNOWNED;
     }
@@ -96,6 +111,9 @@ impl Directory {
         let e = &mut self.entries[line as usize];
         e.sharers &= !(1 << pe);
         if e.sharers == 0 {
+            if e.state != UNOWNED {
+                self.owned -= 1;
+            }
             e.state = UNOWNED;
         } else if e.state == EXCLUSIVE {
             e.state = SHARED;
@@ -108,9 +126,16 @@ impl Directory {
         self.entries[line as usize].sharers & !(1 << pe)
     }
 
-    /// Number of lines not in Unowned state (diagnostics/tests).
+    /// Number of lines not in Unowned state (diagnostics/tests). O(1): the
+    /// count is maintained by the transitions above; debug builds check it
+    /// against the full scan.
     pub fn owned_lines(&self) -> usize {
-        self.entries.iter().filter(|e| e.state != UNOWNED).count()
+        debug_assert_eq!(
+            self.owned,
+            self.entries.iter().filter(|e| e.state != UNOWNED).count(),
+            "owned-line counter drifted from the entry states"
+        );
+        self.owned
     }
 }
 
@@ -143,6 +168,27 @@ mod tests {
         assert_eq!(d.state(0), DirState::Shared);
         d.remove_sharer(0, 2);
         assert_eq!(d.state(0), DirState::Unowned);
+    }
+
+    #[test]
+    fn owned_lines_counter_tracks_transitions() {
+        let mut d = Directory::new(8);
+        assert_eq!(d.owned_lines(), 0);
+        d.add_sharer(0, 1);
+        d.add_sharer(0, 2); // already owned: no double count
+        d.set_exclusive(1, 3);
+        d.set_exclusive(1, 4); // exclusive -> exclusive: no double count
+        assert_eq!(d.owned_lines(), 2);
+        d.remove_sharer(0, 1);
+        assert_eq!(d.owned_lines(), 2, "line 0 still has a sharer");
+        d.remove_sharer(0, 2);
+        assert_eq!(d.owned_lines(), 1, "last sharer left");
+        d.remove_sharer(0, 2); // removing from an unowned line: no underflow
+        assert_eq!(d.owned_lines(), 1);
+        d.set_unowned(1);
+        assert_eq!(d.owned_lines(), 0);
+        d.set_unowned(1); // repeat: no underflow
+        assert_eq!(d.owned_lines(), 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::cache::{Cache, LineState, Probe};
 use crate::config::MachineConfig;
-use crate::contention::PhaseTraffic;
+use crate::contention::{Delay, PhaseTraffic};
 use crate::directory::{Directory, DirState};
 use crate::memory::{AddressSpace, ArrayId, Placement};
 use crate::race::{MsgToken, RaceDetector, RaceReport};
@@ -100,6 +100,10 @@ pub struct Machine {
     /// Happens-before race detector; `None` keeps every access path free of
     /// detector work (see `MachineConfig::race_detector`).
     race: Option<RaceDetector>,
+    /// Scratch buffers reused by `resolve_phase`, so phase resolution does
+    /// not allocate on the hot path (one pair for the machine's lifetime).
+    resolve_elapsed: Vec<f64>,
+    resolve_delays: Vec<Delay>,
     /// Debug-build sampling counter for the fast-path equivalence check:
     /// every `EQUIV_SAMPLE_PERIOD`-th `touch_run` replays the legacy
     /// per-line path on a clone of the machine and asserts identical
@@ -160,6 +164,8 @@ impl Machine {
             } else {
                 None
             },
+            resolve_elapsed: Vec::new(),
+            resolve_delays: Vec::new(),
             cfg,
             topo,
             mem,
@@ -384,6 +390,16 @@ impl Machine {
         }
     }
 
+    /// Feed a timed scattered index batch to the race detector (no-op when
+    /// off): one array/length/section resolution for the whole slice.
+    #[inline]
+    fn race_access_indices(&mut self, pe: usize, arr: ArrayId, idxs: &[usize], write: bool) {
+        if let Some(det) = self.race.as_mut() {
+            let section = self.sections[self.cur_section].0;
+            det.scatter_access(pe, arr.0, self.mem.len(arr), self.mem.name(arr), idxs, write, section);
+        }
+    }
+
     /// Debug invariant behind the repeat-touch fast path: whenever a hint is
     /// set, the hinted line is resident in the PE's L1 (and Modified there
     /// if `hint_write`). Checked at the boundaries of every operation that
@@ -463,6 +479,293 @@ impl Machine {
         }
         self.touch_run(pe, arr, off, src.len(), true);
         self.mem.slice_mut(arr, off..off + src.len()).copy_from_slice(src);
+    }
+
+    /// Timed scattered gather: read the elements `arr[idxs[k]]` in
+    /// submission order into `out`. Observationally identical to one
+    /// [`Machine::read_at`] per index, but batched end-to-end: one `addr_of`
+    /// base resolution and one race-detector array/section lookup for the
+    /// whole slice, and a flattened per-element walk (see
+    /// [`Machine::touch_batch`]).
+    pub fn gather_run(&mut self, pe: usize, arr: ArrayId, idxs: &[usize], out: &mut [u32]) {
+        assert_eq!(idxs.len(), out.len(), "gather_run: index/output length mismatch");
+        if idxs.is_empty() {
+            return;
+        }
+        if !self.cfg.fast_path {
+            // Reference: literally one `read_at` per element — per-element
+            // detector call, address resolution, walk and data move, exactly
+            // the sequence the call sites ran before the batched engine.
+            for (v, &idx) in out.iter_mut().zip(idxs) {
+                *v = self.read_at(pe, arr, idx);
+            }
+            return;
+        }
+        let len = self.mem.len(arr);
+        assert!(idxs.iter().all(|&idx| idx < len), "gather_run: index out of bounds");
+        // The walk is throughput-bound on the host, so the data move is
+        // fused into it (one traversal of `idxs`, no per-element bounds
+        // checks — every index was validated above). The walk never touches
+        // backing stores, so reading the array data from inside it is
+        // sound; raw pointers sidestep the borrow of `self` the walk holds.
+        let data = self.mem.slice(arr, 0..len).as_ptr();
+        let out_ptr = out.as_mut_ptr();
+        self.batch_walk::<false, _>(pe, arr, idxs, Pattern::Scattered, |k, idx| {
+            // SAFETY: `idx < len` was asserted for the whole batch above;
+            // `k < idxs.len() == out.len()`; `out` is exclusively borrowed
+            // and disjoint from the machine; the walk does not mutate the
+            // backing store `data` points into.
+            unsafe { *out_ptr.add(k) = *data.add(idx) };
+        });
+    }
+
+    /// Timed scattered scatter: write `vals[k]` to `arr[idxs[k]]` in
+    /// submission order (duplicate indices keep last-write-wins semantics).
+    /// Observationally identical to one [`Machine::write_at`] per index;
+    /// see [`Machine::gather_run`] for what the batching amortizes.
+    pub fn scatter_run(&mut self, pe: usize, arr: ArrayId, idxs: &[usize], vals: &[u32]) {
+        assert_eq!(idxs.len(), vals.len(), "scatter_run: index/value length mismatch");
+        if idxs.is_empty() {
+            return;
+        }
+        if !self.cfg.fast_path {
+            // Reference: literally one `write_at` per element (see
+            // `gather_run`). Duplicate indices keep last-write-wins order.
+            for (&idx, &v) in idxs.iter().zip(vals) {
+                self.write_at(pe, arr, idx, v);
+            }
+            return;
+        }
+        let len = self.mem.len(arr);
+        assert!(idxs.iter().all(|&idx| idx < len), "scatter_run: index out of bounds");
+        // Fused walk + data move; see `gather_run`.
+        let data = self.mem.slice_mut(arr, 0..len).as_mut_ptr();
+        let vals_ptr = vals.as_ptr();
+        self.batch_walk::<true, _>(pe, arr, idxs, Pattern::Scattered, |k, idx| {
+            // SAFETY: `idx < len` was asserted for the whole batch above;
+            // `k < idxs.len() == vals.len()`; the walk neither reads nor
+            // writes the backing store `data` points into, so the store
+            // cannot alias any state the walk holds borrowed.
+            unsafe { *data.add(idx) = *vals_ptr.add(k) };
+        });
+    }
+
+    /// Touch the lines of `arr[idxs[k]]` in submission order with pattern
+    /// `pat`, without moving data.
+    ///
+    /// With `MachineConfig::fast_path` on (the default) the batch runs a
+    /// flattened single-pass walk: the race detector gets the whole index
+    /// slice in one call, the array base is resolved once, repeats of the
+    /// hinted line skip the walk, same-page neighbours skip the TLB access
+    /// (a `last`-page hit is pure in the reference walk), and each element
+    /// performs exactly one L1 and at most one L2 tag probe with the common
+    /// hit arms inlined; only upgrades and misses take the heavyweight
+    /// directory path. Everything observable — f64 time in accumulation
+    /// order, breakdowns, sections, event counters, phase traffic, race
+    /// verdicts — is bit-identical to the per-element reference sequence,
+    /// which `fast_path = false` still runs literally (interleaved
+    /// per-element detector calls and `touch_line_ref` walks). Debug builds
+    /// replay sampled batches through the reference walk on a clone and
+    /// assert equivalence, mirroring `touch_run`.
+    pub fn touch_batch(&mut self, pe: usize, arr: ArrayId, idxs: &[usize], write: bool, pat: Pattern) {
+        if write {
+            self.batch_walk::<true, _>(pe, arr, idxs, pat, |_, _| {});
+        } else {
+            self.batch_walk::<false, _>(pe, arr, idxs, pat, |_, _| {});
+        }
+    }
+
+    /// The engine behind [`Machine::touch_batch`], [`Machine::gather_run`]
+    /// and [`Machine::scatter_run`]: the batched walk with a caller-supplied
+    /// per-element data move `mv(k, idxs[k])`, invoked exactly once per
+    /// element in submission order (fused into the walk loop so a batch
+    /// traverses `idxs` once). The move must not touch simulator state.
+    fn batch_walk<const WRITE: bool, F: FnMut(usize, usize)>(
+        &mut self,
+        pe: usize,
+        arr: ArrayId,
+        idxs: &[usize],
+        pat: Pattern,
+        mut mv: F,
+    ) {
+        if idxs.is_empty() {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        self.debug_assert_hint(pe, "touch_batch entry");
+        debug_assert!(
+            idxs.iter().all(|&idx| idx < self.mem.len(arr)),
+            "touch_batch: index out of bounds"
+        );
+        // Element addresses are linear (`base + 4*idx`), so one `addr_of`
+        // resolution pins the whole batch.
+        let base = self.mem.addr_of(arr, 0);
+
+        if !self.cfg.fast_path {
+            // Reference path: literally the per-element `read_at`/`write_at`
+            // sequence (detector call interleaved with each walk and move).
+            for (k, &idx) in idxs.iter().enumerate() {
+                self.race_access(pe, arr, idx, 1, WRITE);
+                self.touch_line_ref(pe, (base + 4 * idx as u64) >> self.line_shift, WRITE, pat);
+                mv(k, idx);
+            }
+            return;
+        }
+
+        // Detector state is disjoint from timing state, so feeding the whole
+        // batch first is observationally identical to interleaving.
+        self.race_access_indices(pe, arr, idxs, WRITE);
+
+        #[cfg(debug_assertions)]
+        let reference = self.equiv_reference_batch(pe, base, idxs, WRITE, pat);
+
+        let page_lines_shift = self.page_shift - self.line_shift;
+        let line_shift = self.line_shift;
+        let l2_hit_ns = self.cfg.l2_hit_ns;
+        let tlb_miss_ns = self.cfg.tlb_miss_ns;
+        let cur_section = self.cur_section;
+        // Last page this batch ran a TLB access for: a repeat would hit the
+        // TLB's pure `last`-page check, so skipping it is exact. (Hint hits
+        // skip the TLB in the reference walk too, so they don't update it.)
+        let mut prev_page = u64::MAX;
+        // Set-index frame hash of `prev_page` (see `Cache::frame_of`);
+        // initialized on the first element, which always misses `prev_page`.
+        let mut prev_frame = 0u64;
+        // Batch-local table of pages verified TLB-resident since the last
+        // in-batch TLB miss (direct-mapped, generation-stamped so a miss
+        // invalidates it in O(1)). Skipping the TLB access for such a page
+        // is exact: a hit would only set the referenced bit — already set
+        // by the access that put the page in this table, and only misses
+        // clear referenced bits (no other PE runs mid-batch) — and refresh
+        // `last`, whose value is unobservable whenever the invariant
+        // "page == last implies its referenced bit is set" holds, which
+        // every reachable TLB state satisfies. This removes the per-element
+        // page-table lookup that dominates the warm scattered walk.
+        const SEEN_PAGES: usize = 64;
+        let mut seen_pages = [0u64; SEEN_PAGES]; // page + 1; 0 = empty
+        let mut i = 0;
+        while i < idxs.len() {
+            // Tight loop over the remaining indices with the borrows
+            // hoisted; falls out only for the heavyweight upgrade/miss
+            // protocol path.
+            let mut slow: Option<(usize, u64, Probe)> = None;
+            {
+                let s = &mut self.pes[pe];
+                let sec = &mut self.sections[cur_section].1[pe];
+                // Hoist every loop-carried scalar into a stack local and
+                // write it back once per tight loop: the data-move closure
+                // carries raw pointers, so state living behind `s` would
+                // otherwise be spilled and reloaded every element. The
+                // operation *sequence* on each value is unchanged (the f64
+                // accumulations in particular run in the same order on the
+                // same values), so this is bit-exact; only the residency
+                // changes.
+                let mut hint_line = s.hint_line;
+                let mut hint_write = s.hint_write;
+                let mut l1_hits = s.ev.l1_hits;
+                let mut tlb_misses = s.ev.tlb_misses;
+                let mut cache_hits = s.ev.cache_hits;
+                let mut time = s.time;
+                let mut brk_lmem = s.brk.lmem;
+                let mut sec_lmem = sec.lmem;
+                let mut l1_clock = s.l1.walk_clock();
+                let mut l2_clock = s.cache.walk_clock();
+                let rest = &idxs[i..];
+                for (j, &idx) in rest.iter().enumerate() {
+                    // Data move first: every element moves data exactly once
+                    // regardless of which walk arm it takes (including the
+                    // element that breaks to the protocol path below).
+                    mv(i + j, idx);
+                    let line = (base + 4 * idx as u64) >> line_shift;
+                    // Repeat of the hinted line: the whole walk is a no-op
+                    // apart from the counter (see `touch_line`).
+                    if hint_line == line && (!WRITE || hint_write) {
+                        l1_hits += 1;
+                        continue;
+                    }
+                    let page = line >> page_lines_shift;
+                    if page != prev_page {
+                        prev_page = page;
+                        // L1 and L2 are physically indexed with the same
+                        // page geometry, so one frame hash serves both
+                        // probes for every line on this page.
+                        prev_frame = Cache::frame_of(page);
+                        let slot = (page as usize) & (SEEN_PAGES - 1);
+                        if seen_pages[slot] != page + 1 {
+                            if s.tlb.access(page) {
+                                seen_pages[slot] = page + 1;
+                            } else {
+                                // In-batch miss: the clock hand may have
+                                // cleared referenced bits — drop the table
+                                // (misses are rare; the clear is 512 B).
+                                seen_pages = [0u64; SEEN_PAGES];
+                                seen_pages[slot] = page + 1;
+                                tlb_misses += 1;
+                                // Inlined `charge`: same f64 accumulation
+                                // order (all walk charges are Lmem).
+                                time += tlb_miss_ns;
+                                brk_lmem += tlb_miss_ns;
+                                sec_lmem += tlb_miss_ns;
+                            }
+                        }
+                    }
+                    // L1 filter (identical to `touch_line_post_tlb`, with
+                    // the probe force-inlined; see `Cache::probe_fast_ext`).
+                    if let Probe::Hit(_) = s.l1.probe_fast_ext(line, prev_frame, WRITE, &mut l1_clock) {
+                        if WRITE {
+                            s.cache.probe_fast_ext(line, prev_frame, true, &mut l2_clock);
+                        }
+                        l1_hits += 1;
+                        hint_line = line;
+                        hint_write = WRITE;
+                        continue;
+                    }
+                    // One L2 tag probe; the Hit arm of `touch_line_post_l2`
+                    // inlined (refill + charge + hint).
+                    match s.cache.probe_fast_ext(line, prev_frame, WRITE, &mut l2_clock) {
+                        Probe::Hit(state) => {
+                            cache_hits += 1;
+                            s.l1.install_fast(line, prev_frame, state, &mut l1_clock);
+                            time += l2_hit_ns;
+                            brk_lmem += l2_hit_ns;
+                            sec_lmem += l2_hit_ns;
+                            hint_line = line;
+                            hint_write = WRITE;
+                        }
+                        probe => {
+                            slow = Some((j, line, probe));
+                            break;
+                        }
+                    }
+                }
+                // Write the localized state back before the slow path (the
+                // reference protocol below reads and updates all of it).
+                s.hint_line = hint_line;
+                s.hint_write = hint_write;
+                s.ev.l1_hits = l1_hits;
+                s.ev.tlb_misses = tlb_misses;
+                s.ev.cache_hits = cache_hits;
+                s.time = time;
+                s.brk.lmem = brk_lmem;
+                sec.lmem = sec_lmem;
+                s.l1.set_walk_clock(l1_clock);
+                s.cache.set_walk_clock(l2_clock);
+            }
+            match slow {
+                Some((j, line, probe)) => {
+                    i += j + 1;
+                    self.touch_line_post_l2(pe, line, WRITE, pat, probe);
+                }
+                None => i = idxs.len(),
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        if let Some(reference) = reference {
+            self.assert_equiv(pe, &reference);
+        }
+        #[cfg(debug_assertions)]
+        self.debug_assert_hint(pe, "touch_batch exit");
     }
 
     /// Touch every line of `[off, off+len)` with the streamed pattern
@@ -608,6 +911,29 @@ impl Machine {
         Some(reference)
     }
 
+    /// Sampled debug equivalence for `touch_batch`: replay the index batch
+    /// through the per-element reference walk on a clone (taken after the
+    /// detector call, which both sides share) and compare observables.
+    #[cfg(debug_assertions)]
+    fn equiv_reference_batch(
+        &mut self,
+        pe: usize,
+        base: u64,
+        idxs: &[usize],
+        write: bool,
+        pat: Pattern,
+    ) -> Option<Machine> {
+        self.equiv_tick = self.equiv_tick.wrapping_add(1);
+        if !self.equiv_tick.is_multiple_of(EQUIV_SAMPLE_PERIOD) {
+            return None;
+        }
+        let mut reference = self.clone();
+        for &idx in idxs {
+            reference.touch_line_ref(pe, (base + 4 * idx as u64) >> self.line_shift, write, pat);
+        }
+        Some(reference)
+    }
+
     /// Assert that the fast path left `pe` with exactly the observable state
     /// the per-line reference path produces. Cache stamps and clock values
     /// may legitimately differ (the fast path skips re-stamping MRU lines,
@@ -692,11 +1018,25 @@ impl Machine {
             s.hint_write = write;
             return;
         }
+        self.touch_line_post_l1(pe, line, write, pat);
+    }
 
+    /// The walk below the L1: one L2 tag probe, then the directory protocol.
+    fn touch_line_post_l1(&mut self, pe: usize, line: u64, write: bool, pat: Pattern) {
+        let probe = self.pes[pe].cache.probe(line, write);
+        self.touch_line_post_l2(pe, line, write, pat, probe);
+    }
+
+    /// The walk below the L2 tag probe: protocol action, traffic, stall
+    /// charge, refill and hint update for an already-performed `probe`.
+    /// Split out so `touch_batch` can run the probe inside its tight loop
+    /// (inlining the common Hit arm) and hand only upgrades/misses here —
+    /// every line still gets exactly one L2 tag walk.
+    fn touch_line_post_l2(&mut self, pe: usize, line: u64, write: bool, pat: Pattern, probe: Probe) {
         let home = self.mem.home_of_line(line);
         let my_node = self.node_of[pe];
 
-        match self.pes[pe].cache.probe(line, write) {
+        match probe {
             Probe::Hit(state) => {
                 self.pes[pe].ev.cache_hits += 1;
                 // L1 refill from L2 (no protocol action); the probe already
@@ -995,10 +1335,13 @@ impl Machine {
         if self.traffic.is_empty() {
             return;
         }
-        let elapsed: Vec<f64> = (0..self.cfg.n_procs)
-            .map(|pe| self.pes[pe].time - self.phase_start[pe])
-            .collect();
-        let delays = self.traffic.resolve(&elapsed, &self.node_of, self.cfg.rho_cap);
+        // Scratch buffers are moved out for the duration (charge below needs
+        // `&mut self`) and put back; no per-phase allocation.
+        let mut elapsed = std::mem::take(&mut self.resolve_elapsed);
+        elapsed.clear();
+        elapsed.extend((0..self.cfg.n_procs).map(|pe| self.pes[pe].time - self.phase_start[pe]));
+        let mut delays = std::mem::take(&mut self.resolve_delays);
+        self.traffic.resolve_into(&elapsed, &self.node_of, self.cfg.rho_cap, &mut delays);
         for (pe, d) in delays.iter().enumerate() {
             if d.lmem > 0.0 {
                 self.charge(pe, d.lmem, Bucket::Lmem);
@@ -1007,6 +1350,8 @@ impl Machine {
                 self.charge(pe, d.rmem, Bucket::Rmem);
             }
         }
+        self.resolve_elapsed = elapsed;
+        self.resolve_delays = delays;
         self.traffic.reset();
         for pe in 0..self.cfg.n_procs {
             self.phase_start[pe] = self.pes[pe].time;

@@ -88,6 +88,13 @@ pub fn read_scattered(m: &mut Machine, pe: usize, arr: ArrayId, idx: usize) -> u
     m.read_pat(pe, arr, idx, Pattern::Scattered)
 }
 
+/// Batched counterpart of [`read_scattered`]: gather `idxs.len()` shared
+/// values in one submission through the machine's batched scattered walk
+/// (one detector dispatch and base resolution for the whole set).
+pub fn gather_scattered(m: &mut Machine, pe: usize, arr: ArrayId, idxs: &[usize], out: &mut [u32]) {
+    m.gather_run(pe, arr, idxs, out);
+}
+
 /// Read a *fixed-size* (n-independent) structure: the full data is
 /// returned, but only a representative `1/fixed_cost_div` prefix goes
 /// through the timed path, so the charged cost keeps the weight it has on
