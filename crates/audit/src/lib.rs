@@ -4,7 +4,7 @@
 //! workspace. Three parts:
 //!
 //! * [`oracle`] — the differential oracle: runs one `(Dist, n, p, r, seed)`
-//!   point through every applicable implementation (all ten simulator
+//!   point through every applicable implementation (all eleven simulator
 //!   programs via `run_experiment_audited`, plus the real threaded sorts in
 //!   `ccsort-parallel`), cross-checks every output against `sort_unstable`
 //!   and against each other, and collects machine-invariant violations.

@@ -9,7 +9,7 @@
 //!
 //! `sweep` exits non-zero if any point fails; every failure line embeds the
 //! exact `replay` invocation that reproduces it. `races` (equivalently
-//! `sweep --races`) restricts the grid to the ten simulator programs and
+//! `sweep --races`) restricts the grid to the eleven simulator programs and
 //! runs them with the happens-before race detector on, asserting every
 //! point is race-free — the simulator-only half of the sweep, so it skips
 //! the threaded sorts and the distribution validator.
@@ -176,9 +176,9 @@ fn replay(args: &[String]) -> i32 {
         Algorithm::ALL.to_vec()
     } else {
         match Algorithm::parse(alg_name) {
-            Some(a) => vec![a],
-            None => {
-                eprintln!("unknown algorithm {alg_name}");
+            Ok(a) => vec![a],
+            Err(e) => {
+                eprintln!("{e}");
                 return 2;
             }
         }

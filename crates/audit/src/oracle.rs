@@ -1,6 +1,6 @@
 //! Differential oracle: one parameter point, every implementation.
 //!
-//! A point `(Dist, n, p, r, seed)` is pushed through all ten simulator
+//! A point `(Dist, n, p, r, seed)` is pushed through all eleven simulator
 //! programs (with the machine-invariant audit enabled, so protocol bugs
 //! panic at the phase boundary where they appear) and through the real
 //! threaded sorts of `ccsort-parallel`. Every output is cross-checked

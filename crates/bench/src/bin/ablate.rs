@@ -5,7 +5,7 @@
 //! ```
 //!
 //! DESIGN.md attributes each of the paper's headline effects to a specific
-//! modelled mechanism. This binary re-runs the four radix-sort variants
+//! modelled mechanism. This binary re-runs five radix-sort variants
 //! (the most mechanism-sensitive programs) with one mechanism disabled at a
 //! time and prints how each variant's time moves — evidence that the
 //! reproduced shapes come from the intended causes and not from tuning
@@ -35,13 +35,15 @@ enum Variant {
     CcsasNew,
     Mpi,
     Shmem,
+    ShmemPut,
 }
 
-const VARIANTS: [(Variant, &str); 4] = [
+const VARIANTS: [(Variant, &str); 5] = [
     (Variant::Ccsas, "CC-SAS"),
     (Variant::CcsasNew, "CC-SAS-NEW"),
     (Variant::Mpi, "MPI(NEW)"),
     (Variant::Shmem, "SHMEM"),
+    (Variant::ShmemPut, "SHMEM(PUT)"),
 ];
 
 fn run(cfg: MachineConfig, variant: Variant, n: usize, p: usize, r: u32) -> f64 {
@@ -55,6 +57,7 @@ fn run(cfg: MachineConfig, variant: Variant, n: usize, p: usize, r: u32) -> f64 
         Variant::CcsasNew => radix::ccsas_new::sort(&mut m, [a, b], n, r, KEY_BITS),
         Variant::Mpi => radix::mpi::sort(&mut m, MpiMode::Direct, [a, b], n, r, KEY_BITS),
         Variant::Shmem => radix::shmem::sort(&mut m, [a, b], n, r, KEY_BITS),
+        Variant::ShmemPut => radix::shmem_put::sort(&mut m, [a, b], n, r, KEY_BITS),
     };
     let mut expect = input;
     expect.sort_unstable();

@@ -4,7 +4,7 @@
 //! repro [OPTIONS] <ARTEFACT>...
 //!
 //! ARTEFACT: table1 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
-//!           fig8 | fig9 | fig10 | table2 | predict | tradeoff |
+//!           fig8 | fig9 | fig10 | table2 | predict | tradeoff | putget |
 //!           phases | sampling | all | quick
 //!
 //! OPTIONS:
@@ -28,7 +28,7 @@ use ccsort_bench::runner::{Runner, RunnerOpts, SIZE_LABELS};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--simkeys N] [--sizes 1M,4M,...] [--procs 16,32,64] [--seed N] \
-         [--json FILE] [--verbose] <table1|fig1..fig10|table2|all|quick>..."
+         [--json FILE] [--verbose] <table1|fig1..fig10|table2|tradeoff|putget|all|quick>..."
     );
     std::process::exit(2);
 }
@@ -113,6 +113,7 @@ fn main() {
             "table2" | "table3" => figures::table2_and_3(&mut r),
             "predict" => figures::predict(&mut r),
             "tradeoff" => figures::tradeoff(&mut r),
+            "putget" => figures::putget(&mut r),
             "phases" => figures::phases(&mut r),
             "sampling" => figures::sampling(&mut r),
             "all" | "quick" => {

@@ -306,7 +306,7 @@ pub fn fig7(r: &mut Runner) {
 }
 
 /// Section 3.2's sampling-strategy space: the paper notes that how samples
-/// and splitters are chosen "affect[s] load balance and program complexity"
+/// and splitters are chosen "affect\[s\] load balance and program complexity"
 /// and picks 128 regular samples per process as best on its system. This
 /// artefact compares strategies by time and by load imbalance.
 pub fn sampling(r: &mut Runner) {
@@ -401,6 +401,47 @@ pub fn tradeoff(r: &mut Runner) {
             (Algorithm::RadixMpiCoalesced, RADIX_R, "coalesced"),
         ],
     );
+}
+
+/// The Section-2 get-vs-put experiment the paper argues from but does not
+/// plot: SHMEM radix sort with receiver-initiated `get` (the paper's
+/// program) against sender-initiated `put`. A `get` deposits the exchanged
+/// keys in the destination cache, so the exchange pays remote time the next
+/// pass never repays; a `put` charges the exchange less but leaves the
+/// destination cold, shifting the cost into the next histogram sweep's
+/// local misses. The per-phase rows make the shift visible.
+pub fn putget(r: &mut Runner) {
+    print_header("Section 2 get vs put: SHMEM radix-sort exchange direction");
+    let si = breakdown_size(r);
+    let p = breakdown_procs(r);
+    println!("(size {}, {p} processors; mean per-processor phase time, us)", r.opts.label_for(si));
+    let algs = [
+        (Algorithm::RadixShmem, "get (shmem)"),
+        (Algorithm::RadixShmemPut, "put (shmem-put)"),
+    ];
+    let keys: Vec<ExpKey> =
+        algs.iter().map(|&(alg, _)| (alg, si, p, RADIX_R, Dist::Gauss)).collect();
+    r.prefetch(&keys);
+    for (alg, name) in algs {
+        let res = r.exp(alg, si, p, RADIX_R, Dist::Gauss).clone();
+        r.record_key("putget", (alg, si, p, RADIX_R, Dist::Gauss), None, None);
+        println!("\n{name}: total {:.2} ms", res.parallel_ns / 1e6);
+        println!("{:>14} {:>10} {:>10} {:>10} {:>10} {:>10}", "phase", "BUSY", "LMEM", "RMEM", "SYNC", "TOTAL");
+        for (phase, t) in &res.sections {
+            if t.total() < 1.0 {
+                continue;
+            }
+            println!(
+                "{:>14} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+                phase,
+                t.busy / 1e3,
+                t.lmem / 1e3,
+                t.rmem / 1e3,
+                t.sync / 1e3,
+                t.total() / 1e3
+            );
+        }
+    }
 }
 
 /// The future-work artefact: the closed-form prediction formula versus the

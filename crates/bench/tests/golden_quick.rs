@@ -1,0 +1,58 @@
+//! Golden-output guard for `repro quick`.
+//!
+//! The quick reproduction is the repo's public face: its numbers are quoted
+//! in the README and its JSON feeds the plots. The communicator refactor's
+//! contract is that restructuring the programs must not move a single
+//! digit, so the committed transcript (`results/golden_quick.txt`) is the
+//! regression oracle: this test reruns `repro quick` and byte-compares
+//! stdout against it. A legitimate model change must regenerate the golden
+//! file in the same commit — the diff then documents exactly which numbers
+//! moved.
+//!
+//! Only meaningful in release mode: the simulation is deterministic either
+//! way, but a debug-profile run takes long enough to stall `cargo test`,
+//! so the test is a no-op unless compiled with optimisations
+//! (`cargo test --release -p ccsort-bench --test golden_quick`).
+
+use std::process::Command;
+
+#[test]
+fn repro_quick_matches_committed_golden_output() {
+    if cfg!(debug_assertions) {
+        eprintln!("golden_quick: skipped in debug profile (run with --release)");
+        return;
+    }
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/golden_quick.txt");
+    let golden = std::fs::read_to_string(golden_path).expect("read results/golden_quick.txt");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("quick")
+        .output()
+        .expect("run repro quick");
+    assert!(out.status.success(), "repro quick failed: {}", String::from_utf8_lossy(&out.stderr));
+    let actual = String::from_utf8(out.stdout).expect("repro output is UTF-8");
+
+    if actual != golden {
+        let (line, (want, got)) = golden
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .find(|(_, (w, g))| w != g)
+            .map(|(i, (w, g))| (i + 1, (w.to_string(), g.to_string())))
+            .unwrap_or_else(|| {
+                (
+                    golden.lines().count().min(actual.lines().count()) + 1,
+                    ("<end of shorter output>".into(), "<end of shorter output>".into()),
+                )
+            });
+        panic!(
+            "repro quick diverged from results/golden_quick.txt at line {line}:\n  \
+             golden: {want}\n  actual: {got}\n\
+             ({} golden bytes, {} actual bytes). If the model intentionally \
+             changed, regenerate the golden file with:\n  \
+             cargo run --release -p ccsort-bench --bin repro -- quick > results/golden_quick.txt",
+            golden.len(),
+            actual.len()
+        );
+    }
+}

@@ -43,3 +43,15 @@ pub const BSEARCH_CYC_PER_STEP: f64 = 8.0;
 
 /// Per-sample selection cost (strided read bookkeeping).
 pub const SELECT_CYC_PER_SAMPLE: f64 = 6.0;
+
+/// The calibrated constants above, packaged for the model-independent
+/// [`ccsort_models::comm::Communicator`] layer (which charges scan, offset,
+/// splitter-sort and copy work inside its collectives).
+pub fn comm_costs() -> ccsort_models::comm::CostModel {
+    ccsort_models::comm::CostModel {
+        scan_cyc_per_bin: SCAN_CYC_PER_BIN,
+        offset_cyc_per_entry: OFFSET_CYC_PER_ENTRY,
+        sort_cyc_per_cmp: SORT_CYC_PER_CMP,
+        copy_cyc_per_key: COPY_CYC_PER_KEY,
+    }
+}

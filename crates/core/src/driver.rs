@@ -8,12 +8,13 @@
 //! the harness refuses to use it.
 
 use ccsort_machine::{EventCounters, Machine, MachineConfig, Placement, TimeBreakdown};
+use ccsort_models::comm::{CcsasComm, Communicator, MpiComm, Permute, ShmemComm};
 use ccsort_models::MpiMode;
 use serde::{Deserialize, Serialize};
 
 use crate::dist::{generate, Dist, KEY_BITS};
 use crate::sample::SamplingStrategy;
-use crate::{radix, sample, seq};
+use crate::{costs, radix, sample, seq};
 
 /// Algorithm × programming-model combinations under study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -24,6 +25,7 @@ pub enum Algorithm {
     RadixMpiDirect,
     RadixMpiCoalesced,
     RadixShmem,
+    RadixShmemPut,
     SampleCcsas,
     SampleMpiStaged,
     SampleMpiDirect,
@@ -31,13 +33,14 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    pub const ALL: [Algorithm; 10] = [
+    pub const ALL: [Algorithm; 11] = [
         Algorithm::RadixCcsas,
         Algorithm::RadixCcsasNew,
         Algorithm::RadixMpiStaged,
         Algorithm::RadixMpiDirect,
         Algorithm::RadixMpiCoalesced,
         Algorithm::RadixShmem,
+        Algorithm::RadixShmemPut,
         Algorithm::SampleCcsas,
         Algorithm::SampleMpiStaged,
         Algorithm::SampleMpiDirect,
@@ -53,6 +56,7 @@ impl Algorithm {
             Algorithm::RadixMpiDirect => "radix-mpi-new",
             Algorithm::RadixMpiCoalesced => "radix-mpi-coalesced",
             Algorithm::RadixShmem => "radix-shmem",
+            Algorithm::RadixShmemPut => "radix-shmem-put",
             Algorithm::SampleCcsas => "sample-ccsas",
             Algorithm::SampleMpiStaged => "sample-mpi-sgi",
             Algorithm::SampleMpiDirect => "sample-mpi-new",
@@ -60,8 +64,11 @@ impl Algorithm {
         }
     }
 
-    pub fn parse(s: &str) -> Option<Algorithm> {
-        Algorithm::ALL.iter().copied().find(|a| a.name() == s)
+    pub fn parse(s: &str) -> Result<Algorithm, String> {
+        Algorithm::ALL.iter().copied().find(|a| a.name() == s).ok_or_else(|| {
+            let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+            format!("unknown algorithm {s:?}; valid names: {}", names.join(", "))
+        })
     }
 
     /// Is this a radix-sort variant (as opposed to sample sort)?
@@ -74,7 +81,36 @@ impl Algorithm {
                 | Algorithm::RadixMpiDirect
                 | Algorithm::RadixMpiCoalesced
                 | Algorithm::RadixShmem
+                | Algorithm::RadixShmemPut
         )
+    }
+
+    /// The transport this algorithm instantiates its skeleton with — the
+    /// (skeleton, communicator) pair IS the algorithm. Radix and sample
+    /// skeletons each accept any of these; the table in
+    /// [`crate::radix`] documents which pairing reproduces which program
+    /// of the paper.
+    pub fn communicator(&self) -> Box<dyn Communicator> {
+        let costs = costs::comm_costs();
+        match self {
+            Algorithm::RadixCcsas => Box::new(CcsasComm::new(Permute::DirectScatter, costs)),
+            Algorithm::RadixCcsasNew => Box::new(CcsasComm::new(Permute::ContiguousCopy, costs)),
+            Algorithm::RadixMpiStaged => {
+                Box::new(MpiComm::new(MpiMode::Staged, Permute::ChunkMessages, costs))
+            }
+            Algorithm::RadixMpiDirect => {
+                Box::new(MpiComm::new(MpiMode::Direct, Permute::ChunkMessages, costs))
+            }
+            Algorithm::RadixMpiCoalesced => {
+                Box::new(MpiComm::new(MpiMode::Direct, Permute::CoalescedMessages, costs))
+            }
+            Algorithm::RadixShmem => Box::new(ShmemComm::new(Permute::ReceiverGet, costs)),
+            Algorithm::RadixShmemPut => Box::new(ShmemComm::new(Permute::SenderPut, costs)),
+            Algorithm::SampleCcsas => sample::Model::Ccsas.communicator(),
+            Algorithm::SampleMpiStaged => sample::Model::Mpi(MpiMode::Staged).communicator(),
+            Algorithm::SampleMpiDirect => sample::Model::Mpi(MpiMode::Direct).communicator(),
+            Algorithm::SampleShmem => sample::Model::Shmem.communicator(),
+        }
     }
 }
 
@@ -198,6 +234,41 @@ impl ExpConfig {
         self
     }
 
+    /// Check the configuration against the machine's and the algorithms'
+    /// hard limits before any simulation state is built. Pure host-side
+    /// arithmetic: a valid config runs byte-identically with or without the
+    /// check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.p == 0 {
+            return Err("p = 0: need at least one processor".to_string());
+        }
+        if self.p > 64 {
+            return Err(format!(
+                "p = {}: the simulated directory tracks sharers in a 64-bit \
+                 bitmask, so at most 64 processors are supported",
+                self.p
+            ));
+        }
+        if self.radix_bits == 0 {
+            return Err("radix_bits = 0: each pass must consume at least one bit".to_string());
+        }
+        if self.radix_bits > KEY_BITS {
+            return Err(format!(
+                "radix_bits = {} exceeds the {KEY_BITS}-bit keys; one pass \
+                 would index a histogram larger than the key space",
+                self.radix_bits
+            ));
+        }
+        if self.radix_bits > 24 {
+            return Err(format!(
+                "radix_bits = {}: 2^{} histogram bins per processor would \
+                 dwarf the keys being sorted; the harness caps r at 24",
+                self.radix_bits, self.radix_bits
+            ));
+        }
+        Ok(())
+    }
+
     fn machine_config(&self) -> MachineConfig {
         let mut cfg = MachineConfig::origin2000(self.p).scaled_down(self.scale_denom);
         cfg.page_size *= self.page_mult.max(1);
@@ -283,6 +354,9 @@ pub fn run_experiment_audited(cfg: &ExpConfig) -> (ExpResult, Vec<String>) {
 }
 
 fn execute(cfg: &ExpConfig, audit: bool) -> (ExpResult, Vec<String>) {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid experiment config: {e}");
+    }
     let mut m = Machine::new(cfg.machine_config());
     m.set_section_audit(audit);
     if audit {
@@ -317,39 +391,14 @@ fn execute(cfg: &ExpConfig, audit: bool) -> (ExpResult, Vec<String>) {
         m.reset_stats();
     }
 
-    let out = match cfg.algorithm {
-        Algorithm::RadixCcsas => radix::ccsas::sort(&mut m, [a, b], n, r, KEY_BITS),
-        Algorithm::RadixCcsasNew => radix::ccsas_new::sort(&mut m, [a, b], n, r, KEY_BITS),
-        Algorithm::RadixMpiStaged => radix::mpi::sort(&mut m, MpiMode::Staged, [a, b], n, r, KEY_BITS),
-        Algorithm::RadixMpiDirect => radix::mpi::sort(&mut m, MpiMode::Direct, [a, b], n, r, KEY_BITS),
-        Algorithm::RadixMpiCoalesced => {
-            radix::mpi_coalesced::sort(&mut m, MpiMode::Direct, [a, b], n, r, KEY_BITS)
-        }
-        Algorithm::RadixShmem => radix::shmem::sort(&mut m, [a, b], n, r, KEY_BITS),
-        Algorithm::SampleCcsas => {
-            sample::sort_with(&mut m, sample::Model::Ccsas, [a, b], n, r, KEY_BITS, cfg.sampling)
-        }
-        Algorithm::SampleMpiStaged => sample::sort_with(
-            &mut m,
-            sample::Model::Mpi(MpiMode::Staged),
-            [a, b],
-            n,
-            r,
-            KEY_BITS,
-            cfg.sampling,
-        ),
-        Algorithm::SampleMpiDirect => sample::sort_with(
-            &mut m,
-            sample::Model::Mpi(MpiMode::Direct),
-            [a, b],
-            n,
-            r,
-            KEY_BITS,
-            cfg.sampling,
-        ),
-        Algorithm::SampleShmem => {
-            sample::sort_with(&mut m, sample::Model::Shmem, [a, b], n, r, KEY_BITS, cfg.sampling)
-        }
+    // Every algorithm is one of two skeletons instantiated with one
+    // transport; the (skeleton, communicator) pairing replaces the old
+    // one-match-arm-per-program dispatch.
+    let mut comm = cfg.algorithm.communicator();
+    let out = if cfg.algorithm.is_radix() {
+        radix::sort(&mut m, comm.as_mut(), [a, b], n, r, KEY_BITS)
+    } else {
+        sample::sort_with_comm(&mut m, comm.as_mut(), [a, b], n, r, KEY_BITS, cfg.sampling)
     };
 
     let mut expect = input;
@@ -423,9 +472,58 @@ mod tests {
     #[test]
     fn name_roundtrip() {
         for alg in Algorithm::ALL {
-            assert_eq!(Algorithm::parse(alg.name()), Some(alg));
+            assert_eq!(Algorithm::parse(alg.name()), Ok(alg));
         }
-        assert_eq!(Algorithm::parse("bogosort"), None);
+        let err = Algorithm::parse("bogosort").unwrap_err();
+        assert!(err.contains("bogosort"), "error should echo the bad name: {err}");
+        // The error lists every valid spelling so a typo is self-correcting.
+        for alg in Algorithm::ALL {
+            assert!(err.contains(alg.name()), "error should list {}: {err}", alg.name());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_processors() {
+        let cfg = ExpConfig::new(Algorithm::RadixShmem, 1024, 0);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("p = 0"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_too_many_processors() {
+        let cfg = ExpConfig::new(Algorithm::RadixShmem, 1024, 65);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("64"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_radix_bits() {
+        let cfg = ExpConfig::new(Algorithm::RadixCcsas, 1024, 4).radix_bits(0);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("radix_bits = 0"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_radix_wider_than_keys() {
+        let cfg = ExpConfig::new(Algorithm::RadixCcsas, 1024, 4).radix_bits(33);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("33"), "{err}");
+        // ... and r over the harness cap, even though it fits in the key.
+        let cfg = ExpConfig::new(Algorithm::RadixCcsas, 1024, 4).radix_bits(25);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_every_default_config() {
+        for alg in Algorithm::ALL {
+            assert_eq!(ExpConfig::new(alg, 4096, 8).validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid experiment config")]
+    fn run_experiment_panics_on_invalid_config() {
+        run_experiment(&ExpConfig::new(Algorithm::RadixShmem, 1024, 0));
     }
 
     #[test]
@@ -509,9 +607,21 @@ mod section_tests {
 
     #[test]
     fn coalesced_algorithm_roundtrips_by_name() {
-        assert_eq!(Algorithm::parse("radix-mpi-coalesced"), Some(Algorithm::RadixMpiCoalesced));
+        assert_eq!(Algorithm::parse("radix-mpi-coalesced"), Ok(Algorithm::RadixMpiCoalesced));
         assert!(Algorithm::RadixMpiCoalesced.is_radix());
         let res = run_experiment(&ExpConfig::new(Algorithm::RadixMpiCoalesced, 2048, 4).scale(64));
         assert!(res.verified);
+    }
+
+    #[test]
+    fn shmem_put_algorithm_runs_under_the_driver() {
+        assert_eq!(Algorithm::parse("radix-shmem-put"), Ok(Algorithm::RadixShmemPut));
+        assert!(Algorithm::RadixShmemPut.is_radix());
+        let res = run_experiment(&ExpConfig::new(Algorithm::RadixShmemPut, 2048, 4).scale(64));
+        assert!(res.verified);
+        let names: Vec<&str> = res.sections.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in ["histogram", "combine", "permute", "exchange"] {
+            assert!(names.contains(&expected), "missing phase {expected} in {names:?}");
+        }
     }
 }

@@ -8,69 +8,21 @@
 //! trigger a read-exclusive + invalidation + eventual writeback protocol
 //! sequence per line, and the resulting controller contention is what makes
 //! this program collapse for large data sets (Figure 4a).
+//!
+//! Instantiates the [`crate::radix::sort`] skeleton with
+//! [`CcsasComm`] in [`Permute::DirectScatter`] style.
 
 use ccsort_machine::{ArrayId, Machine};
-use ccsort_models::PrefixTree;
+use ccsort_models::{CcsasComm, Permute};
 
-use crate::common::{digit, exclusive_scan, local_histogram, n_passes, part_range, BLOCK};
 use crate::costs;
 
 /// Sort the keys in `keys[0]` (partitioned over all processors), using
 /// `keys[1]` as the toggle array. Returns the array holding the sorted
 /// result.
 pub fn sort(m: &mut Machine, keys: [ArrayId; 2], n: usize, r: u32, key_bits: u32) -> ArrayId {
-    let p = m.n_procs();
-    let bins = 1usize << r;
-    let passes = n_passes(key_bits, r);
-    let tree = PrefixTree::new(m, p, bins);
-    let (mut src, mut dst) = (keys[0], keys[1]);
-
-    for pass in 0..passes {
-        // Phase 1: per-process histogram of the current digit.
-        m.section("histogram");
-        for pe in 0..p {
-            let h = local_histogram(m, pe, src, part_range(n, p, pe), pass, r);
-            tree.set_local(m, pe, &h);
-        }
-        // Phase 2: accumulate through the shared prefix tree (internal
-        // barriers).
-        m.section("combine");
-        tree.accumulate(m);
-
-        // Phase 3: read ranks and permute with direct scattered writes.
-        m.section("permute");
-        for pe in 0..p {
-            let mut pref = vec![0u32; bins];
-            let mut tot = vec![0u32; bins];
-            tree.read_prefix(m, pe, &mut pref);
-            tree.read_totals(m, pe, &mut tot);
-            m.busy_cycles_fixed(pe, costs::SCAN_CYC_PER_BIN * bins as f64);
-            let scan = exclusive_scan(&tot);
-            let mut offsets: Vec<u32> = (0..bins).map(|d| scan[d] + pref[d]).collect();
-
-            let range = part_range(n, p, pe);
-            let mut buf = vec![0u32; BLOCK];
-            let mut dests = vec![0usize; BLOCK];
-            let mut pos = range.start;
-            while pos < range.end {
-                let blk = BLOCK.min(range.end - pos);
-                m.read_run(pe, src, pos, &mut buf[..blk]);
-                m.busy_cycles(pe, costs::PERMUTE_CYC_PER_KEY * blk as f64);
-                for (i, &k) in buf[..blk].iter().enumerate() {
-                    let d = digit(k, pass, r);
-                    dests[i] = offsets[d] as usize;
-                    offsets[d] += 1;
-                }
-                // The defining access of this program: fine-grained writes
-                // into other processes' partitions, issued as one batch.
-                m.scatter_run(pe, dst, &dests[..blk], &buf[..blk]);
-                pos += blk;
-            }
-        }
-        m.barrier();
-        std::mem::swap(&mut src, &mut dst);
-    }
-    src
+    let mut comm = CcsasComm::new(Permute::DirectScatter, costs::comm_costs());
+    crate::radix::sort(m, &mut comm, keys, n, r, key_bits)
 }
 
 #[cfg(test)]

@@ -8,107 +8,27 @@
 //! coherence-protocol contention — dramatically better for large data sets,
 //! but *worse* than the original for the smallest (1M-key) sets where the
 //! saved traffic cannot pay for the added local work.
+//!
+//! Instantiates the [`crate::radix::sort`] skeleton with
+//! [`CcsasComm`] in [`Permute::ContiguousCopy`] style.
 
-use ccsort_machine::{ArrayId, Machine, Placement};
-use ccsort_models::{cpu_copy, PrefixTree};
+use ccsort_machine::{ArrayId, Machine};
+use ccsort_models::{CcsasComm, Permute};
 
-use crate::common::{digit, exclusive_scan, local_histogram, n_passes, part_range, BLOCK};
 use crate::costs;
 
 /// Sort `keys[0]` (partitioned), toggling with `keys[1]`. Returns the array
 /// holding the sorted result.
 pub fn sort(m: &mut Machine, keys: [ArrayId; 2], n: usize, r: u32, key_bits: u32) -> ArrayId {
-    let p = m.n_procs();
-    let bins = 1usize << r;
-    let passes = n_passes(key_bits, r);
-    let tree = PrefixTree::new(m, p, bins);
-    // The per-process staging buffer: each process owns its partition of
-    // this array and lays its keys out grouped by digit.
-    let stage = m.alloc(n, Placement::Partitioned { parts: p }, "stage");
-    let (mut src, mut dst) = (keys[0], keys[1]);
-
-    for pass in 0..passes {
-        // Phase 1 + 2: histograms and tree accumulation, as in the original.
-        m.section("histogram");
-        let mut hists: Vec<Vec<u32>> = Vec::with_capacity(p);
-        for pe in 0..p {
-            let h = local_histogram(m, pe, src, part_range(n, p, pe), pass, r);
-            tree.set_local(m, pe, &h);
-            hists.push(h);
-        }
-        m.section("combine");
-        tree.accumulate(m);
-
-        // Phase 3: permute into the local staging buffer.
-        m.section("permute");
-        for pe in 0..p {
-            let range = part_range(n, p, pe);
-            let base = range.start;
-            let mut cursors = exclusive_scan(&hists[pe]);
-            let mut buf = vec![0u32; BLOCK];
-            let mut dests = vec![0usize; BLOCK];
-            let mut pos = range.start;
-            while pos < range.end {
-                let blk = BLOCK.min(range.end - pos);
-                m.read_run(pe, src, pos, &mut buf[..blk]);
-                m.busy_cycles(
-                    pe,
-                    (costs::PERMUTE_CYC_PER_KEY + costs::BUFFER_EXTRA_CYC_PER_KEY) * blk as f64,
-                );
-                for (i, &k) in buf[..blk].iter().enumerate() {
-                    let d = digit(k, pass, r);
-                    dests[i] = base + cursors[d] as usize;
-                    cursors[d] += 1;
-                }
-                // Scattered, but *local*: cheap misses, no remote protocol
-                // storm.
-                m.scatter_run(pe, stage, &dests[..blk], &buf[..blk]);
-                pos += blk;
-            }
-        }
-        m.barrier();
-
-        // Phase 4: copy each digit chunk to its (remote) destination as one
-        // contiguous streamed transfer. Ranks come from the tree.
-        m.section("exchange");
-        for pe in 0..p {
-            let mut pref = vec![0u32; bins];
-            let mut tot = vec![0u32; bins];
-            tree.read_prefix(m, pe, &mut pref);
-            tree.read_totals(m, pe, &mut tot);
-            m.busy_cycles_fixed(pe, costs::SCAN_CYC_PER_BIN * bins as f64);
-            let scan = exclusive_scan(&tot);
-            let base = part_range(n, p, pe).start;
-            let lscan = exclusive_scan(&hists[pe]);
-            for d in 0..bins {
-                let len = hists[pe][d] as usize;
-                if len == 0 {
-                    continue;
-                }
-                let goff = (scan[d] + pref[d]) as usize;
-                cpu_copy(
-                    m,
-                    pe,
-                    stage,
-                    base + lscan[d] as usize,
-                    dst,
-                    goff,
-                    len,
-                    costs::COPY_CYC_PER_KEY,
-                );
-            }
-        }
-        m.barrier();
-        std::mem::swap(&mut src, &mut dst);
-    }
-    src
+    let mut comm = CcsasComm::new(Permute::ContiguousCopy, costs::comm_costs());
+    crate::radix::sort(m, &mut comm, keys, n, r, key_bits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dist::{generate, Dist, KEY_BITS};
-    use ccsort_machine::MachineConfig;
+    use ccsort_machine::{MachineConfig, Placement};
 
     fn run(n: usize, p: usize, r: u32, dist: Dist) -> (Vec<u32>, Vec<u32>) {
         let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(64));

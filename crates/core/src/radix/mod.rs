@@ -1,51 +1,41 @@
 //! Parallel radix sort under the three programming models (Section 3.1).
 //!
-//! All four variants share the iterative structure of the SPLASH-2 program:
-//! for each `r`-bit digit, (1) every process histograms its assigned keys,
-//! (2) local histograms are combined into global ranks, (3) every process
-//! permutes its keys into the output array — an all-to-all personalized
-//! communication — and the arrays swap roles. They differ exactly where the
-//! paper says they differ:
+//! The algorithm is written **once**, in [`sort`]: for each `r`-bit digit,
+//! (1) every process histograms its assigned keys, (2) local histograms are
+//! combined into global ranks, (3) every process permutes its keys into the
+//! output array — an all-to-all personalized communication — and the arrays
+//! swap roles. Everything the programming models do differently lives
+//! behind [`ccsort_models::comm::Communicator`]; the per-model modules
+//! below are one-line instantiations of the skeleton:
 //!
-//! | variant | histogram combine | permutation communication |
-//! |---|---|---|
-//! | [`ccsas`] | shared binary prefix tree | fine-grained scattered remote writes |
-//! | [`ccsas_new`] | shared binary prefix tree | local buffering + contiguous remote copies |
-//! | [`mpi`] | `MPI_Allgather` + redundant local combine | one message per contiguously-destined chunk |
-//! | [`mpi_coalesced`] | `MPI_Allgather` + redundant local combine | one message per destination (IS-style), receiver reorganizes |
-//! | [`shmem`] | `shmem_fcollect` + redundant local combine | receiver-initiated `get` per chunk |
+//! | variant | communicator | histogram combine | permutation ([`Permute`]) |
+//! |---|---|---|---|
+//! | [`ccsas`] | `CcsasComm` | shared binary prefix tree | `DirectScatter`: fine-grained scattered remote writes |
+//! | [`ccsas_new`] | `CcsasComm` | shared binary prefix tree | `ContiguousCopy`: local buffering + contiguous remote copies |
+//! | [`mpi`] | `MpiComm` | `MPI_Allgather` + redundant local combine | `ChunkMessages`: one message per contiguously-destined chunk |
+//! | [`mpi_coalesced`] | `MpiComm` | `MPI_Allgather` + redundant local combine | `CoalescedMessages`: one message per destination (IS-style), receiver reorganizes |
+//! | [`shmem`] | `ShmemComm` | `shmem_fcollect` + redundant local combine | `ReceiverGet`: receiver-initiated `get` per chunk |
+//! | [`shmem_put`] | `ShmemComm` | `shmem_fcollect` + redundant local combine | `SenderPut`: sender-initiated `put` per chunk |
+//!
+//! Each skeleton arm reproduces the machine-call sequence of the
+//! hand-written program it replaced, so times, breakdowns and event counts
+//! are bit-identical to the pre-refactor variants.
 
 pub mod ccsas;
 pub mod ccsas_new;
 pub mod mpi;
 pub mod mpi_coalesced;
 pub mod shmem;
+pub mod shmem_put;
 
-use crate::common::{owner_of, part_range};
+use ccsort_machine::{ArrayId, Machine};
+use ccsort_models::comm::{Communicator, Permute};
+use ccsort_models::cpu_copy;
 
-/// Global destination offsets for every (process, digit) chunk, given all
-/// local histograms: `offsets[pe][d]` is where process `pe`'s keys with
-/// digit `d` start in the output array.
-pub fn global_offsets(hists: &[Vec<u32>]) -> Vec<Vec<u32>> {
-    let p = hists.len();
-    let bins = hists[0].len();
-    let mut totals = vec![0u32; bins];
-    for h in hists {
-        for (t, &c) in totals.iter_mut().zip(h) {
-            *t += c;
-        }
-    }
-    let scan = crate::common::exclusive_scan(&totals);
-    let mut out = vec![vec![0u32; bins]; p];
-    let mut running = scan;
-    for pe in 0..p {
-        out[pe].copy_from_slice(&running);
-        for (r, &c) in running.iter_mut().zip(&hists[pe]) {
-            *r += c;
-        }
-    }
-    out
-}
+use crate::common::{digit, exclusive_scan, local_histogram, n_passes, owner_of, part_range, BLOCK};
+use crate::costs;
+
+pub use ccsort_models::comm::global_offsets;
 
 /// A contiguous piece of one process's digit chunk, destined for a single
 /// owner's partition of the output array.
@@ -78,6 +68,390 @@ pub fn split_by_owner(n: usize, p: usize, goff: usize, len: usize) -> Vec<ChunkP
         start += piece;
     }
     out
+}
+
+/// One blocked pass over `pe`'s partition of `src`: read a block, compute
+/// each key's destination (`dest_base + cursors[digit]`, post-incrementing
+/// the cursor), and issue the writes as one scattered batch into `target`.
+/// This inner loop is shared by every permutation style; they differ in the
+/// target array, the cursor origin and the per-key instruction cost.
+#[allow(clippy::too_many_arguments)]
+fn blocked_permute(
+    m: &mut Machine,
+    pe: usize,
+    src: ArrayId,
+    target: ArrayId,
+    n: usize,
+    p: usize,
+    cursors: &mut [u32],
+    dest_base: usize,
+    cyc_per_key: f64,
+    pass: u32,
+    r: u32,
+) {
+    let range = part_range(n, p, pe);
+    let mut buf = vec![0u32; BLOCK];
+    let mut dests = vec![0usize; BLOCK];
+    let mut pos = range.start;
+    while pos < range.end {
+        let blk = BLOCK.min(range.end - pos);
+        m.read_run(pe, src, pos, &mut buf[..blk]);
+        m.busy_cycles(pe, cyc_per_key * blk as f64);
+        for (i, &k) in buf[..blk].iter().enumerate() {
+            let d = digit(k, pass, r);
+            dests[i] = dest_base + cursors[d] as usize;
+            cursors[d] += 1;
+        }
+        m.scatter_run(pe, target, &dests[..blk], &buf[..blk]);
+        pos += blk;
+    }
+}
+
+/// The one parallel radix sort, parameterized over the programming model.
+///
+/// Sorts the keys in `keys[0]` (partitioned over all processors), using
+/// `keys[1]` as the toggle array. Returns the array holding the sorted
+/// result. The communicator decides how histograms are published and
+/// combined and which [`Permute`] arm moves the keys.
+pub fn sort(
+    m: &mut Machine,
+    comm: &mut dyn Communicator,
+    keys: [ArrayId; 2],
+    n: usize,
+    r: u32,
+    key_bits: u32,
+) -> ArrayId {
+    let p = m.n_procs();
+    let bins = 1usize << r;
+    let passes = n_passes(key_bits, r);
+    comm.setup_radix(m, n, bins);
+
+    let (mut src, mut dst) = (keys[0], keys[1]);
+    for pass in 0..passes {
+        // Phase 1: per-process histogram of the current digit, published
+        // through the model (tree leaves or the symmetric histogram array).
+        comm.section(m, "histogram");
+        let mut hists: Vec<Vec<u32>> = Vec::with_capacity(p);
+        for pe in 0..p {
+            let h = local_histogram(m, pe, src, part_range(n, p, pe), pass, r);
+            comm.publish_hist(m, pe, &h);
+            hists.push(h);
+        }
+        comm.publish_done(m);
+
+        // Phase 2: combine into global ranks (tree accumulation, Allgather
+        // or fcollect — with the model's own synchronization).
+        comm.section(m, "combine");
+        comm.combine(m, &hists);
+        // The replicating models compute every rank's offsets redundantly;
+        // the tree models read ranks from the tree instead.
+        let offsets = match comm.style() {
+            Permute::DirectScatter | Permute::ContiguousCopy => Vec::new(),
+            _ => global_offsets(&hists),
+        };
+
+        // Phase 3 (and 4, where the style has one): move the keys.
+        match comm.style() {
+            Permute::DirectScatter => {
+                comm.section(m, "permute");
+                for pe in 0..p {
+                    let mut cursors = comm.read_ranks(m, pe, &hists, &offsets);
+                    // The defining access of the original CC-SAS program:
+                    // fine-grained writes straight into other processes'
+                    // partitions.
+                    blocked_permute(
+                        m,
+                        pe,
+                        src,
+                        dst,
+                        n,
+                        p,
+                        &mut cursors,
+                        0,
+                        costs::PERMUTE_CYC_PER_KEY,
+                        pass,
+                        r,
+                    );
+                }
+            }
+
+            Permute::ContiguousCopy => {
+                // Permute into the local staging buffer (scattered but
+                // *local*: cheap misses, no remote protocol storm)...
+                comm.section(m, "permute");
+                let stage = comm.stage();
+                for pe in 0..p {
+                    let base = part_range(n, p, pe).start;
+                    let mut cursors = exclusive_scan(&hists[pe]);
+                    blocked_permute(
+                        m,
+                        pe,
+                        src,
+                        stage,
+                        n,
+                        p,
+                        &mut cursors,
+                        base,
+                        costs::PERMUTE_CYC_PER_KEY + costs::BUFFER_EXTRA_CYC_PER_KEY,
+                        pass,
+                        r,
+                    );
+                }
+                m.barrier();
+                // ...then copy each digit chunk to its (remote) destination
+                // as one contiguous streamed transfer.
+                comm.section(m, "exchange");
+                for pe in 0..p {
+                    let ranks = comm.read_ranks(m, pe, &hists, &offsets);
+                    let base = part_range(n, p, pe).start;
+                    let lscan = exclusive_scan(&hists[pe]);
+                    for d in 0..bins {
+                        let len = hists[pe][d] as usize;
+                        if len == 0 {
+                            continue;
+                        }
+                        cpu_copy(
+                            m,
+                            pe,
+                            stage,
+                            base + lscan[d] as usize,
+                            dst,
+                            ranks[d] as usize,
+                            len,
+                            costs::COPY_CYC_PER_KEY,
+                        );
+                    }
+                }
+            }
+
+            Permute::ChunkMessages => {
+                comm.section(m, "permute");
+                let stage = comm.stage();
+                for pe in 0..p {
+                    comm.read_ranks(m, pe, &hists, &offsets);
+                    let base = part_range(n, p, pe).start;
+                    let lscan = exclusive_scan(&hists[pe]);
+                    let mut cursors = lscan.clone();
+                    blocked_permute(
+                        m,
+                        pe,
+                        src,
+                        stage,
+                        n,
+                        p,
+                        &mut cursors,
+                        base,
+                        costs::PERMUTE_CYC_PER_KEY + costs::BUFFER_EXTRA_CYC_PER_KEY,
+                        pass,
+                        r,
+                    );
+                    // Send each contiguously-destined chunk piece.
+                    for d in 0..bins {
+                        let len = hists[pe][d] as usize;
+                        if len == 0 {
+                            continue;
+                        }
+                        let goff = offsets[pe][d] as usize;
+                        for piece in split_by_owner(n, p, goff, len) {
+                            comm.send(
+                                m,
+                                pe,
+                                stage,
+                                base + lscan[d] as usize + piece.src_delta,
+                                piece.owner,
+                                dst,
+                                piece.dst_off,
+                                piece.len,
+                            );
+                        }
+                    }
+                }
+                // Receivers complete all inbound messages.
+                comm.section(m, "exchange");
+                for pe in 0..p {
+                    comm.drain(m, pe);
+                }
+            }
+
+            Permute::CoalescedMessages => {
+                // Local permutation (as in ChunkMessages), but record every
+                // piece instead of sending it:
+                // all_pieces[src_pe][dst_pe] = pieces bound for dst_pe.
+                let stage = comm.stage();
+                let recv_buf = comm.recv_buf();
+                let mut all_pieces: Vec<Vec<Vec<ChunkPiece>>> = vec![vec![Vec::new(); p]; p];
+                for pe in 0..p {
+                    comm.read_ranks(m, pe, &hists, &offsets);
+                    let base = part_range(n, p, pe).start;
+                    let lscan = exclusive_scan(&hists[pe]);
+                    let mut cursors = lscan.clone();
+                    blocked_permute(
+                        m,
+                        pe,
+                        src,
+                        stage,
+                        n,
+                        p,
+                        &mut cursors,
+                        base,
+                        costs::PERMUTE_CYC_PER_KEY + costs::BUFFER_EXTRA_CYC_PER_KEY,
+                        pass,
+                        r,
+                    );
+                    for d in 0..bins {
+                        let len = hists[pe][d] as usize;
+                        if len == 0 {
+                            continue;
+                        }
+                        let goff = offsets[pe][d] as usize;
+                        for mut piece in split_by_owner(n, p, goff, len) {
+                            // Remember where in the stage this piece starts.
+                            piece.src_delta += base + lscan[d] as usize;
+                            all_pieces[pe][piece.owner].push(piece);
+                        }
+                    }
+                }
+
+                // One coalesced message per (src, dst) pair. Because the
+                // global offsets grow monotonically with the digit, a
+                // sender's chunks for a given destination sit *contiguously*
+                // in its digit-ordered stage, so the whole bundle ships as a
+                // single transfer — exactly the IS-style scheme.
+                let mut recv_cursor: Vec<usize> =
+                    (0..p).map(|j| part_range(n, p, j).start).collect();
+                let mut landing: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); p]; // (buf_off, dst_off, len)
+                for pe in 0..p {
+                    for j in 0..p {
+                        let pieces = &all_pieces[pe][j];
+                        let total: usize = pieces.iter().map(|c| c.len).sum();
+                        if total == 0 {
+                            continue;
+                        }
+                        let stage_start = pieces[0].src_delta;
+                        debug_assert!(
+                            pieces.windows(2).all(|w| w[0].src_delta + w[0].len <= w[1].src_delta),
+                            "pieces must be in increasing stage order"
+                        );
+                        comm.send(m, pe, stage, stage_start, j, recv_buf, recv_cursor[j], total);
+                        // Record where each chunk landed so the receiver can
+                        // place it.
+                        let mut buf_off = recv_cursor[j];
+                        for piece in pieces {
+                            // Account for any gap between pieces in the
+                            // stage (keys of interleaved digits destined
+                            // elsewhere) — the send shipped a contiguous
+                            // run, so re-place per piece from its true stage
+                            // position.
+                            m.copy_untimed(pe, stage, piece.src_delta, recv_buf, buf_off, piece.len);
+                            landing[j].push((buf_off, piece.dst_off, piece.len));
+                            buf_off += piece.len;
+                        }
+                        recv_cursor[j] = buf_off;
+                    }
+                }
+                for pe in 0..p {
+                    comm.drain(m, pe);
+                }
+                m.barrier();
+
+                // The cost of coalescing: the receiver reorganizes the
+                // chunks from its recv buffer into their true positions.
+                for pe in 0..p {
+                    for &(buf_off, dst_off, len) in &landing[pe] {
+                        cpu_copy(m, pe, recv_buf, buf_off, dst, dst_off, len, costs::COPY_CYC_PER_KEY);
+                    }
+                }
+            }
+
+            Permute::ReceiverGet | Permute::SenderPut => {
+                let stage = comm.stage();
+                let lscans: Vec<Vec<u32>> = hists.iter().map(|h| exclusive_scan(h)).collect();
+                // Local permutation into contiguous staged chunks.
+                comm.section(m, "permute");
+                for pe in 0..p {
+                    comm.read_ranks(m, pe, &hists, &offsets);
+                    let base = part_range(n, p, pe).start;
+                    let mut cursors = lscans[pe].clone();
+                    blocked_permute(
+                        m,
+                        pe,
+                        src,
+                        stage,
+                        n,
+                        p,
+                        &mut cursors,
+                        base,
+                        costs::PERMUTE_CYC_PER_KEY + costs::BUFFER_EXTRA_CYC_PER_KEY,
+                        pass,
+                        r,
+                    );
+                }
+                m.barrier();
+                comm.section(m, "exchange");
+                if comm.style() == Permute::ReceiverGet {
+                    // Receiver-initiated: each process walks the
+                    // (replicated) histogram table and `get`s every chunk
+                    // piece that lands in its own partition of the output.
+                    for pe in 0..p {
+                        let my = part_range(n, p, pe);
+                        // Scanning the p*2^r table is real (cheap) work.
+                        m.busy_cycles_fixed(pe, 0.5 * (p * bins) as f64);
+                        for j in 0..p {
+                            let src_base = part_range(n, p, j).start;
+                            for d in 0..bins {
+                                let len = hists[j][d] as usize;
+                                if len == 0 {
+                                    continue;
+                                }
+                                let goff = offsets[j][d] as usize;
+                                let s = goff.max(my.start);
+                                let e = (goff + len).min(my.end);
+                                if s >= e {
+                                    continue;
+                                }
+                                let src_off = src_base + lscans[j][d] as usize + (s - goff);
+                                if j == pe {
+                                    // Self-chunks move with a local block
+                                    // transfer.
+                                    comm.get_local(m, pe, dst, s, stage, src_off, e - s);
+                                } else {
+                                    comm.get(m, pe, dst, s, stage, src_off, e - s);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    // Sender-initiated: each process walks only its own
+                    // histogram row and `put`s each chunk piece into the
+                    // owner's partition. Half the table scan of the get
+                    // version — but `put` installs the keys in *no* cache,
+                    // so the owner pays the misses in the next pass.
+                    for pe in 0..p {
+                        m.busy_cycles_fixed(pe, 0.5 * bins as f64);
+                        let base = part_range(n, p, pe).start;
+                        for d in 0..bins {
+                            let len = hists[pe][d] as usize;
+                            if len == 0 {
+                                continue;
+                            }
+                            let goff = offsets[pe][d] as usize;
+                            for piece in split_by_owner(n, p, goff, len) {
+                                let src_off = base + lscans[pe][d] as usize + piece.src_delta;
+                                if piece.owner == pe {
+                                    comm.get_local(m, pe, dst, piece.dst_off, stage, src_off, piece.len);
+                                } else {
+                                    comm.put(m, pe, stage, src_off, dst, piece.dst_off, piece.len);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        m.barrier();
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
 }
 
 #[cfg(test)]

@@ -14,13 +14,14 @@
 //!
 //! Runs under either [`MpiMode::Staged`] (vendor-style, bounce-buffered) or
 //! [`MpiMode::Direct`] (the authors' modified MPICH).
+//!
+//! Instantiates the [`crate::radix::sort`] skeleton with
+//! [`MpiComm`] in [`Permute::ChunkMessages`] style.
 
-use ccsort_machine::{ArrayId, Machine, Placement};
-use ccsort_models::{read_fixed, write_fixed, Mpi, MpiMode};
+use ccsort_machine::{ArrayId, Machine};
+use ccsort_models::{MpiComm, MpiMode, Permute};
 
-use crate::common::{digit, exclusive_scan, local_histogram, n_passes, part_range, BLOCK};
 use crate::costs;
-use crate::radix::{global_offsets, split_by_owner};
 
 /// Sort `keys[0]` (partitioned), toggling with `keys[1]`. Returns the array
 /// holding the sorted result.
@@ -32,119 +33,15 @@ pub fn sort(
     r: u32,
     key_bits: u32,
 ) -> ArrayId {
-    let p = m.n_procs();
-    let bins = 1usize << r;
-    let passes = n_passes(key_bits, r);
-
-    // Per-rank staging buffer for the local permutation.
-    let stage = m.alloc(n, Placement::Partitioned { parts: p }, "stage");
-    // Local histograms live in the symmetric histogram array so the
-    // collective can fetch them.
-    let hist_arr = m.alloc(p * bins, Placement::Partitioned { parts: p }, "hists");
-    // Every rank's local replica of all histograms.
-    let replicas: Vec<ArrayId> = (0..p)
-        .map(|pe| {
-            let home = m.topo().node_of(pe);
-            m.alloc(p * bins, Placement::Node(home), "hist-replica")
-        })
-        .collect();
-    // Worst-case inbound data per rank per pass: its own partition plus
-    // chunk-boundary slack.
-    let bounce_cap = n.div_ceil(p) + 2 * bins + 64;
-    let mut mpi = Mpi::new(m, mode, bounce_cap);
-
-    let (mut src, mut dst) = (keys[0], keys[1]);
-    for pass in 0..passes {
-        // Phase 1: local histograms, published into the symmetric array.
-        m.section("histogram");
-        let mut hists: Vec<Vec<u32>> = Vec::with_capacity(p);
-        for pe in 0..p {
-            let h = local_histogram(m, pe, src, part_range(n, p, pe), pass, r);
-            m.busy_cycles_fixed(pe, bins as f64);
-            write_fixed(m, pe, hist_arr, pe * bins, &h);
-            hists.push(h);
-        }
-        m.barrier();
-
-        // Phase 2: Allgather the histograms; combine redundantly on every
-        // rank.
-        m.section("combine");
-        let contribs: Vec<(ArrayId, usize)> = (0..p).map(|j| (hist_arr, j * bins)).collect();
-        for pe in 0..p {
-            mpi.allgather(m, pe, &contribs, bins, replicas[pe]);
-        }
-        m.barrier();
-        let offsets = global_offsets(&hists);
-
-        // Phase 3: local permutation into contiguous chunks, then one send
-        // per contiguously-destined piece.
-        m.section("permute");
-        for pe in 0..p {
-            // Redundant local combine of all p histograms.
-            let mut replica = vec![0u32; p * bins];
-            read_fixed(m, pe, replicas[pe], 0, &mut replica);
-            m.busy_cycles_fixed(pe, costs::OFFSET_CYC_PER_ENTRY * (p * bins) as f64);
-
-            let range = part_range(n, p, pe);
-            let base = range.start;
-            let lscan = exclusive_scan(&hists[pe]);
-            let mut cursors = lscan.clone();
-            let mut buf = vec![0u32; BLOCK];
-            let mut dests = vec![0usize; BLOCK];
-            let mut pos = range.start;
-            while pos < range.end {
-                let blk = BLOCK.min(range.end - pos);
-                m.read_run(pe, src, pos, &mut buf[..blk]);
-                m.busy_cycles(
-                    pe,
-                    (costs::PERMUTE_CYC_PER_KEY + costs::BUFFER_EXTRA_CYC_PER_KEY) * blk as f64,
-                );
-                for (i, &k) in buf[..blk].iter().enumerate() {
-                    let d = digit(k, pass, r);
-                    dests[i] = base + cursors[d] as usize;
-                    cursors[d] += 1;
-                }
-                m.scatter_run(pe, stage, &dests[..blk], &buf[..blk]);
-                pos += blk;
-            }
-
-            // Send each chunk piece.
-            for d in 0..bins {
-                let len = hists[pe][d] as usize;
-                if len == 0 {
-                    continue;
-                }
-                let goff = offsets[pe][d] as usize;
-                for piece in split_by_owner(n, p, goff, len) {
-                    mpi.send(
-                        m,
-                        pe,
-                        stage,
-                        base + lscan[d] as usize + piece.src_delta,
-                        piece.owner,
-                        dst,
-                        piece.dst_off,
-                        piece.len,
-                    );
-                }
-            }
-        }
-        // Phase 4: receivers complete all inbound messages.
-        m.section("exchange");
-        for pe in 0..p {
-            mpi.drain(m, pe);
-        }
-        m.barrier();
-        std::mem::swap(&mut src, &mut dst);
-    }
-    src
+    let mut comm = MpiComm::new(mode, Permute::ChunkMessages, costs::comm_costs());
+    crate::radix::sort(m, &mut comm, keys, n, r, key_bits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dist::{generate, Dist, KEY_BITS};
-    use ccsort_machine::MachineConfig;
+    use ccsort_machine::{MachineConfig, Placement};
 
     fn run(mode: MpiMode, n: usize, p: usize, r: u32, dist: Dist) -> (Vec<u32>, Vec<u32>) {
         let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(64));

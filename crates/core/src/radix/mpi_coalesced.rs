@@ -14,13 +14,14 @@
 //! (source, destination) pair carrying all chunks, which the receiver then
 //! reorganizes into place (paying an extra copy per key) — so the paper's
 //! implementation-tradeoff experiment can be rerun (`repro tradeoff`).
+//!
+//! Instantiates the [`crate::radix::sort`] skeleton with
+//! [`MpiComm`] in [`Permute::CoalescedMessages`] style.
 
-use ccsort_machine::{ArrayId, Machine, Placement};
-use ccsort_models::{cpu_copy, read_fixed, write_fixed, Mpi, MpiMode};
+use ccsort_machine::{ArrayId, Machine};
+use ccsort_models::{MpiComm, MpiMode, Permute};
 
-use crate::common::{digit, exclusive_scan, local_histogram, n_passes, part_range, BLOCK};
 use crate::costs;
-use crate::radix::{global_offsets, split_by_owner, ChunkPiece};
 
 /// Sort `keys[0]` (partitioned), toggling with `keys[1]`, sending **one
 /// coalesced message per destination** per pass. Returns the array holding
@@ -33,147 +34,15 @@ pub fn sort(
     r: u32,
     key_bits: u32,
 ) -> ArrayId {
-    let p = m.n_procs();
-    let bins = 1usize << r;
-    let passes = n_passes(key_bits, r);
-
-    let stage = m.alloc(n, Placement::Partitioned { parts: p }, "stage");
-    // Receive buffer: coalesced messages land here before the receiver
-    // reorganizes them into the output array (the extra copy that makes
-    // this variant lose).
-    let recv_buf = m.alloc(n, Placement::Partitioned { parts: p }, "recv-buf");
-    let hist_arr = m.alloc(p * bins, Placement::Partitioned { parts: p }, "hists");
-    let replicas: Vec<ArrayId> = (0..p)
-        .map(|pe| {
-            let home = m.topo().node_of(pe);
-            m.alloc(p * bins, Placement::Node(home), "hist-replica")
-        })
-        .collect();
-    let bounce_cap = n.div_ceil(p) + 2 * bins + 64;
-    let mut mpi = Mpi::new(m, mode, bounce_cap);
-
-    let (mut src, mut dst) = (keys[0], keys[1]);
-    for pass in 0..passes {
-        // Phases 1 and 2 are identical to the chunk-per-message program.
-        let mut hists: Vec<Vec<u32>> = Vec::with_capacity(p);
-        for pe in 0..p {
-            let h = local_histogram(m, pe, src, part_range(n, p, pe), pass, r);
-            m.busy_cycles_fixed(pe, bins as f64);
-            write_fixed(m, pe, hist_arr, pe * bins, &h);
-            hists.push(h);
-        }
-        m.barrier();
-        let contribs: Vec<(ArrayId, usize)> = (0..p).map(|j| (hist_arr, j * bins)).collect();
-        for pe in 0..p {
-            mpi.allgather(m, pe, &contribs, bins, replicas[pe]);
-        }
-        m.barrier();
-        let offsets = global_offsets(&hists);
-
-        // Phase 3: local permutation (as before), then assemble each
-        // destination's pieces *contiguously in the stage* — they already
-        // are, in digit order — and send one message per destination.
-        // pieces[src_pe][dst_pe] = list of (stage offset, output offset, len)
-        let mut all_pieces: Vec<Vec<Vec<ChunkPiece>>> = vec![vec![Vec::new(); p]; p];
-        for pe in 0..p {
-            let mut replica = vec![0u32; p * bins];
-            read_fixed(m, pe, replicas[pe], 0, &mut replica);
-            m.busy_cycles_fixed(pe, costs::OFFSET_CYC_PER_ENTRY * (p * bins) as f64);
-
-            let range = part_range(n, p, pe);
-            let base = range.start;
-            let lscan = exclusive_scan(&hists[pe]);
-            let mut cursors = lscan.clone();
-            let mut buf = vec![0u32; BLOCK];
-            let mut dests = vec![0usize; BLOCK];
-            let mut pos = range.start;
-            while pos < range.end {
-                let blk = BLOCK.min(range.end - pos);
-                m.read_run(pe, src, pos, &mut buf[..blk]);
-                m.busy_cycles(
-                    pe,
-                    (costs::PERMUTE_CYC_PER_KEY + costs::BUFFER_EXTRA_CYC_PER_KEY) * blk as f64,
-                );
-                for (i, &k) in buf[..blk].iter().enumerate() {
-                    let d = digit(k, pass, r);
-                    dests[i] = base + cursors[d] as usize;
-                    cursors[d] += 1;
-                }
-                m.scatter_run(pe, stage, &dests[..blk], &buf[..blk]);
-                pos += blk;
-            }
-
-            for d in 0..bins {
-                let len = hists[pe][d] as usize;
-                if len == 0 {
-                    continue;
-                }
-                let goff = offsets[pe][d] as usize;
-                for mut piece in split_by_owner(n, p, goff, len) {
-                    // Remember where in the stage this piece starts.
-                    piece.src_delta += base + lscan[d] as usize;
-                    all_pieces[pe][piece.owner].push(piece);
-                }
-            }
-        }
-
-        // One coalesced message per (src, dst) pair. Because the global
-        // offsets grow monotonically with the digit, a sender's chunks for
-        // a given destination sit *contiguously* in its digit-ordered
-        // stage, so the whole bundle ships as a single transfer — exactly
-        // the IS-style scheme.
-        let mut recv_cursor: Vec<usize> = (0..p).map(|j| part_range(n, p, j).start).collect();
-        let mut landing: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); p]; // (buf_off, dst_off, len)
-        for pe in 0..p {
-            for j in 0..p {
-                let pieces = &all_pieces[pe][j];
-                let total: usize = pieces.iter().map(|c| c.len).sum();
-                if total == 0 {
-                    continue;
-                }
-                let stage_start = pieces[0].src_delta;
-                debug_assert!(
-                    pieces.windows(2).all(|w| w[0].src_delta + w[0].len <= w[1].src_delta),
-                    "pieces must be in increasing stage order"
-                );
-                mpi.send(m, pe, stage, stage_start, j, recv_buf, recv_cursor[j], total);
-                // Record where each chunk landed so the receiver can place it.
-                let mut buf_off = recv_cursor[j];
-                for piece in pieces {
-                    // Account for any gap between pieces in the stage (keys
-                    // of interleaved digits destined elsewhere) — the send
-                    // shipped a contiguous run, so re-place per piece from
-                    // its true stage position.
-                    m.copy_untimed(pe, stage, piece.src_delta, recv_buf, buf_off, piece.len);
-                    landing[j].push((buf_off, piece.dst_off, piece.len));
-                    buf_off += piece.len;
-                }
-                recv_cursor[j] = buf_off;
-            }
-        }
-        for pe in 0..p {
-            mpi.drain(m, pe);
-        }
-        m.barrier();
-
-        // Phase 4 (the cost of coalescing): the receiver reorganizes the
-        // chunks from its recv buffer into their true positions.
-        for pe in 0..p {
-            for &(buf_off, dst_off, len) in &landing[pe] {
-                cpu_copy(m, pe, recv_buf, buf_off, dst, dst_off, len, costs::COPY_CYC_PER_KEY);
-            }
-        }
-        m.barrier();
-        std::mem::swap(&mut src, &mut dst);
-    }
-    src
+    let mut comm = MpiComm::new(mode, Permute::CoalescedMessages, costs::comm_costs());
+    crate::radix::sort(m, &mut comm, keys, n, r, key_bits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dist::{generate, Dist, KEY_BITS};
-    use ccsort_machine::MachineConfig;
+    use ccsort_machine::{MachineConfig, Placement};
 
     fn run(n: usize, p: usize, r: u32, dist: Dist) -> (Vec<u32>, Vec<u32>, f64) {
         let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(64));

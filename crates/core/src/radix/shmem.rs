@@ -7,127 +7,29 @@
 //! destined for its partition with a `get`. Only one side computes message
 //! parameters, there is no per-pair mailbox to stall on, and `get` deposits
 //! the keys directly in the destination processor's cache.
+//!
+//! Instantiates the [`crate::radix::sort`] skeleton with
+//! [`ShmemComm`] in [`Permute::ReceiverGet`] style. See
+//! [`crate::radix::shmem_put`] for the sender-initiated `put` alternative.
 
-use ccsort_machine::{ArrayId, Machine, Placement};
-use ccsort_models::{read_fixed, write_fixed, Shmem};
+use ccsort_machine::{ArrayId, Machine};
+use ccsort_models::{Permute, ShmemComm};
 
-use crate::common::{digit, exclusive_scan, local_histogram, n_passes, part_range, BLOCK};
 use crate::costs;
-use crate::radix::global_offsets;
 
 /// Sort `keys[0]` (partitioned / symmetric), toggling with `keys[1]`.
 /// Returns the array holding the sorted result.
 pub fn sort(m: &mut Machine, keys: [ArrayId; 2], n: usize, r: u32, key_bits: u32) -> ArrayId {
-    let p = m.n_procs();
-    let bins = 1usize << r;
-    let passes = n_passes(key_bits, r);
-
-    let stage = m.alloc(n, Placement::Partitioned { parts: p }, "stage");
-    let hist_arr = m.alloc(p * bins, Placement::Partitioned { parts: p }, "hists");
-    let replicas: Vec<ArrayId> = (0..p)
-        .map(|pe| {
-            let home = m.topo().node_of(pe);
-            m.alloc(p * bins, Placement::Node(home), "hist-replica")
-        })
-        .collect();
-    let shmem = Shmem::new(m);
-
-    let (mut src, mut dst) = (keys[0], keys[1]);
-    for pass in 0..passes {
-        // Phase 1: local histograms, published into the symmetric array.
-        m.section("histogram");
-        let mut hists: Vec<Vec<u32>> = Vec::with_capacity(p);
-        for pe in 0..p {
-            let h = local_histogram(m, pe, src, part_range(n, p, pe), pass, r);
-            m.busy_cycles_fixed(pe, bins as f64);
-            write_fixed(m, pe, hist_arr, pe * bins, &h);
-            hists.push(h);
-        }
-        m.barrier();
-
-        // Phase 2: replicate histograms with fcollect; combine redundantly.
-        m.section("combine");
-        let contribs: Vec<(ArrayId, usize)> = (0..p).map(|j| (hist_arr, j * bins)).collect();
-        for pe in 0..p {
-            shmem.fcollect(m, pe, &contribs, bins, replicas[pe]);
-        }
-        m.barrier();
-        let offsets = global_offsets(&hists);
-        let lscans: Vec<Vec<u32>> = hists.iter().map(|h| exclusive_scan(h)).collect();
-
-        // Phase 3: local permutation into contiguous staged chunks.
-        m.section("permute");
-        for pe in 0..p {
-            let mut replica = vec![0u32; p * bins];
-            read_fixed(m, pe, replicas[pe], 0, &mut replica);
-            m.busy_cycles_fixed(pe, costs::OFFSET_CYC_PER_ENTRY * (p * bins) as f64);
-
-            let range = part_range(n, p, pe);
-            let base = range.start;
-            let mut cursors = lscans[pe].clone();
-            let mut buf = vec![0u32; BLOCK];
-            let mut dests = vec![0usize; BLOCK];
-            let mut pos = range.start;
-            while pos < range.end {
-                let blk = BLOCK.min(range.end - pos);
-                m.read_run(pe, src, pos, &mut buf[..blk]);
-                m.busy_cycles(
-                    pe,
-                    (costs::PERMUTE_CYC_PER_KEY + costs::BUFFER_EXTRA_CYC_PER_KEY) * blk as f64,
-                );
-                for (i, &k) in buf[..blk].iter().enumerate() {
-                    let d = digit(k, pass, r);
-                    dests[i] = base + cursors[d] as usize;
-                    cursors[d] += 1;
-                }
-                m.scatter_run(pe, stage, &dests[..blk], &buf[..blk]);
-                pos += blk;
-            }
-        }
-        m.barrier();
-
-        // Phase 4: receiver-initiated communication. Each process walks the
-        // (replicated) histogram table and `get`s every chunk piece that
-        // lands in its own partition of the output array.
-        m.section("exchange");
-        for pe in 0..p {
-            let my = part_range(n, p, pe);
-            // Scanning the p*2^r table is real (cheap) work on each rank.
-            m.busy_cycles_fixed(pe, 0.5 * (p * bins) as f64);
-            for j in 0..p {
-                let src_base = part_range(n, p, j).start;
-                for d in 0..bins {
-                    let len = hists[j][d] as usize;
-                    if len == 0 {
-                        continue;
-                    }
-                    let goff = offsets[j][d] as usize;
-                    let s = goff.max(my.start);
-                    let e = (goff + len).min(my.end);
-                    if s >= e {
-                        continue;
-                    }
-                    let src_off = src_base + lscans[j][d] as usize + (s - goff);
-                    if j == pe {
-                        // Self-chunks move with a local block transfer.
-                        shmem.get_local(m, pe, dst, s, stage, src_off, e - s);
-                    } else {
-                        shmem.get(m, pe, dst, s, stage, src_off, e - s);
-                    }
-                }
-            }
-        }
-        m.barrier();
-        std::mem::swap(&mut src, &mut dst);
-    }
-    src
+    let mut comm = ShmemComm::new(Permute::ReceiverGet, costs::comm_costs());
+    crate::radix::sort(m, &mut comm, keys, n, r, key_bits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::n_passes;
     use crate::dist::{generate, Dist, KEY_BITS};
-    use ccsort_machine::MachineConfig;
+    use ccsort_machine::{MachineConfig, Placement};
 
     fn run(n: usize, p: usize, r: u32, dist: Dist) -> (Vec<u32>, Vec<u32>) {
         let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(64));

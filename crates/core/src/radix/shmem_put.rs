@@ -1,0 +1,109 @@
+//! SHMEM radix sort with sender-initiated `put` (the paper's road not
+//! taken).
+//!
+//! Section 2 notes that on the Origin 2000 a `get` "deposits the data
+//! directly in the cache of the requesting processor", while a `put` leaves
+//! the destination cache untouched. The paper's SHMEM program therefore
+//! uses receiver-initiated `get`s ([`crate::radix::shmem`]). This variant
+//! flips the direction: after the local permutation, each *sender* walks
+//! its own histogram row and `put`s every chunk into the owner's partition.
+//! The exchange itself is cheaper — a sender scans only its own `2^r`
+//! histogram entries instead of the whole `p x 2^r` table, and `put`
+//! overlaps better at the initiator — but the keys arrive in the owner's
+//! *memory*, not its cache, so the next pass's histogram sweep pays the
+//! misses that `get` would have prepaid. The RMEM/LMEM shift between the
+//! two variants quantifies the paper's argument for `get`.
+//!
+//! Instantiates the [`crate::radix::sort`] skeleton with
+//! [`ShmemComm`] in [`Permute::SenderPut`] style.
+
+use ccsort_machine::{ArrayId, Machine};
+use ccsort_models::{Permute, ShmemComm};
+
+use crate::costs;
+
+/// Sort `keys[0]` (partitioned / symmetric), toggling with `keys[1]`.
+/// Returns the array holding the sorted result.
+pub fn sort(m: &mut Machine, keys: [ArrayId; 2], n: usize, r: u32, key_bits: u32) -> ArrayId {
+    let mut comm = ShmemComm::new(Permute::SenderPut, costs::comm_costs());
+    crate::radix::sort(m, &mut comm, keys, n, r, key_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{generate, Dist, KEY_BITS};
+    use ccsort_machine::{MachineConfig, Placement};
+
+    fn run(n: usize, p: usize, r: u32, dist: Dist) -> (Vec<u32>, Vec<u32>) {
+        let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(64));
+        let a = m.alloc(n, Placement::Partitioned { parts: p }, "keys0");
+        let b = m.alloc(n, Placement::Partitioned { parts: p }, "keys1");
+        let input = generate(dist, n, p, r, 55);
+        m.raw_mut(a).copy_from_slice(&input);
+        let out = sort(&mut m, [a, b], n, r, KEY_BITS);
+        (input, m.raw(out).to_vec())
+    }
+
+    #[test]
+    fn sorts_gauss_keys() {
+        let (mut input, output) = run(4096, 8, 8, Dist::Gauss);
+        input.sort_unstable();
+        assert_eq!(output, input);
+    }
+
+    #[test]
+    fn sorts_all_distributions() {
+        for dist in Dist::ALL {
+            let (mut input, output) = run(2048, 4, 6, dist);
+            input.sort_unstable();
+            assert_eq!(output, input, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn put_shifts_remote_time_to_local_misses() {
+        // The paper's reason to prefer get (Section 2): a get installs the
+        // exchanged keys in the destination cache, a put installs them
+        // nowhere. Under put the exchange itself charges less remote time,
+        // but the next pass's histogram sweep has to fetch its own
+        // partition from memory — time the get variant never pays.
+        let n = 1 << 16;
+        let p = 8;
+        let phases = |put: bool| {
+            let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(64));
+            let a = m.alloc(n, Placement::Partitioned { parts: p }, "k0");
+            let b = m.alloc(n, Placement::Partitioned { parts: p }, "k1");
+            let input = generate(Dist::Gauss, n, p, 8, 55);
+            m.raw_mut(a).copy_from_slice(&input);
+            let out = if put {
+                sort(&mut m, [a, b], n, 8, KEY_BITS)
+            } else {
+                crate::radix::shmem::sort(&mut m, [a, b], n, 8, KEY_BITS)
+            };
+            let mut expect = input;
+            expect.sort_unstable();
+            assert_eq!(m.raw(out), &expect[..]);
+            let phase = |name: &str| {
+                m.section_profile()
+                    .iter()
+                    .find(|(s, _)| *s == name)
+                    .map(|(_, t)| (t.lmem, t.rmem))
+                    .unwrap_or_else(|| panic!("missing section {name}"))
+            };
+            (phase("exchange"), phase("histogram"))
+        };
+        let ((_, exch_rmem_put), (hist_lmem_put, _)) = phases(true);
+        let ((_, exch_rmem_get), (hist_lmem_get, _)) = phases(false);
+        assert!(
+            exch_rmem_put < exch_rmem_get,
+            "put must charge the exchange less remote time than get \
+             (put {exch_rmem_put}, get {exch_rmem_get})"
+        );
+        assert!(
+            hist_lmem_put > hist_lmem_get,
+            "put must leave the destination cold, so the next histogram sweep \
+             pays local-memory misses (put {hist_lmem_put}, get {hist_lmem_get})"
+        );
+    }
+}

@@ -17,13 +17,19 @@
 //! Sample sort thus does roughly double the local sorting work of radix
 //! sort but has far better-behaved communication — the crossover the
 //! paper's Table 3 maps out.
+//!
+//! Like radix sort, the algorithm is written once ([`sort_with_comm`])
+//! against [`ccsort_models::comm::Communicator`]; the model decides how
+//! splitters are selected (group collectors vs redundant allgathered
+//! sorts), how counts are replicated, and what transport moves the buckets.
 
 pub mod ccsas;
 pub mod mpi;
 pub mod shmem;
 
 use ccsort_machine::{ArrayId, Machine, Placement};
-use ccsort_models::{cpu_copy, gather_scattered, read_fixed, write_fixed, Mpi, MpiMode, Shmem};
+use ccsort_models::comm::{Communicator, ExchangePlan, Permute};
+use ccsort_models::{gather_scattered, write_fixed, CcsasComm, MpiComm, MpiMode, ShmemComm};
 
 use crate::common::{local_radix_sort, n_passes, part_range};
 use crate::costs;
@@ -31,7 +37,7 @@ use crate::costs;
 /// Samples taken per process (the paper's choice).
 pub const SAMPLES_PER_PE: usize = 128;
 /// Processes per sample-collection group in the CC-SAS program.
-pub const GROUP: usize = 32;
+pub use ccsort_models::comm::GROUP;
 
 /// Which programming model runs the communication phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +45,20 @@ pub enum Model {
     Ccsas,
     Mpi(MpiMode),
     Shmem,
+}
+
+impl Model {
+    /// The communicator instantiating this model. (Sample sort's own
+    /// transport is contiguous per-pair blocks; the [`Permute`] style only
+    /// selects the radix-permutation arm and is irrelevant here.)
+    pub fn communicator(&self) -> Box<dyn Communicator> {
+        let costs = costs::comm_costs();
+        match *self {
+            Model::Ccsas => Box::new(CcsasComm::new(Permute::DirectScatter, costs)),
+            Model::Mpi(mode) => Box::new(MpiComm::new(mode, Permute::ChunkMessages, costs)),
+            Model::Shmem => Box::new(ShmemComm::new(Permute::ReceiverGet, costs)),
+        }
+    }
 }
 
 /// How sample keys are chosen in phase 2 — "there are many ways to decide
@@ -109,6 +129,21 @@ pub fn sort_with(
     key_bits: u32,
     strategy: SamplingStrategy,
 ) -> ArrayId {
+    let mut comm = model.communicator();
+    sort_with_comm(m, comm.as_mut(), keys, n, r, key_bits, strategy)
+}
+
+/// The one parallel sample sort, parameterized over the programming model.
+#[allow(clippy::too_many_arguments)]
+pub fn sort_with_comm(
+    m: &mut Machine,
+    comm: &mut dyn Communicator,
+    keys: [ArrayId; 2],
+    n: usize,
+    r: u32,
+    key_bits: u32,
+    strategy: SamplingStrategy,
+) -> ArrayId {
     let p = m.n_procs();
     let s = strategy.per_pe(p, n / p);
     let bits = key_bits.max(1);
@@ -156,7 +191,7 @@ pub fn sort_with(
     // Phase 3: splitter selection (model-specific).
     // ------------------------------------------------------------------
     m.section("splitters");
-    let splitters = select_splitters(m, model, samples, s);
+    let splitters = comm.select_splitters(m, samples, s);
     debug_assert_eq!(splitters.len(), p - 1);
 
     // ------------------------------------------------------------------
@@ -187,66 +222,31 @@ pub fn sort_with(
     // Exchange the counts (cheap collective, same flavour per model) and
     // compute the receive layout: region j = [rbase[j], rbase[j+1]), with
     // source i's block at rbase[j] + sum_{i'<i} counts[i'][j].
-    exchange_counts(m, model, &counts);
+    exchange_counts(m, comm, &counts);
     let mut rbase = vec![0usize; p + 1];
     for j in 0..p {
         let inbound: u32 = (0..p).map(|i| counts[i][j]).sum();
         rbase[j + 1] = rbase[j] + inbound as usize;
     }
     debug_assert_eq!(rbase[p], n);
-    let src_off = |i: usize, j: usize| part_range(n, p, i).start + bounds[i][j];
-    let dst_off = |i: usize, j: usize| -> usize {
-        rbase[j] + (0..i).map(|i2| counts[i2][j] as usize).sum::<usize>()
+    let plan = ExchangePlan {
+        src_off: (0..p)
+            .map(|i| (0..p).map(|j| part_range(n, p, i).start + bounds[i][j]).collect())
+            .collect(),
+        dst_off: (0..p)
+            .map(|i| {
+                (0..p)
+                    .map(|j| rbase[j] + (0..i).map(|i2| counts[i2][j] as usize).sum::<usize>())
+                    .collect()
+            })
+            .collect(),
+        max_region: (0..p).map(|j| rbase[j + 1] - rbase[j]).max().unwrap_or(0),
+        counts,
     };
 
     m.section("exchange");
-    match model {
-        Model::Ccsas => {
-            // Receiver-side remote reads: one contiguous copy per source.
-            for j in 0..p {
-                for i in 0..p {
-                    let len = counts[i][j] as usize;
-                    if len > 0 {
-                        cpu_copy(m, j, sorted, src_off(i, j), recv, dst_off(i, j), len, costs::COPY_CYC_PER_KEY);
-                    }
-                }
-            }
-            m.barrier();
-        }
-        Model::Mpi(mode) => {
-            let max_region = (0..p).map(|j| rbase[j + 1] - rbase[j]).max().unwrap_or(0);
-            let mut mpi = Mpi::new(m, mode, max_region + 64);
-            for i in 0..p {
-                for j in 0..p {
-                    let len = counts[i][j] as usize;
-                    if len > 0 {
-                        mpi.send(m, i, sorted, src_off(i, j), j, recv, dst_off(i, j), len);
-                    }
-                }
-            }
-            for pe in 0..p {
-                mpi.drain(m, pe);
-            }
-            m.barrier();
-        }
-        Model::Shmem => {
-            let shmem = Shmem::new(m);
-            for j in 0..p {
-                for i in 0..p {
-                    let len = counts[i][j] as usize;
-                    if len == 0 {
-                        continue;
-                    }
-                    if i == j {
-                        cpu_copy(m, j, sorted, src_off(i, j), recv, dst_off(i, j), len, costs::COPY_CYC_PER_KEY);
-                    } else {
-                        shmem.get(m, j, recv, dst_off(i, j), sorted, src_off(i, j), len);
-                    }
-                }
-            }
-            m.barrier();
-        }
-    }
+    comm.exchange_keys(m, sorted, recv, &plan);
+    m.barrier();
 
     // ------------------------------------------------------------------
     // Phase 5: local sort of the received region.
@@ -306,97 +306,10 @@ pub fn splitter_bounds(part: &[u32], splitters: &[u32]) -> Vec<usize> {
     b
 }
 
-/// Phase 3: combine samples and pick `p-1` splitters.
-fn select_splitters(m: &mut Machine, model: Model, samples: ArrayId, s: usize) -> Vec<u32> {
-    let p = m.n_procs();
-    let total = p * s;
-    let mut all: Vec<u32> = Vec::new();
-
-    match model {
-        Model::Ccsas => {
-            // Groups of up to GROUP processes; the group's first member
-            // collects and sorts the group's samples into a shared array.
-            let collected = m.alloc(total, Placement::Node(0), "collected-samples");
-            let n_groups = p.div_ceil(GROUP);
-            for g in 0..n_groups {
-                let leader = g * GROUP;
-                let gsize = GROUP.min(p - leader);
-                let cnt = gsize * s;
-                let mut buf = vec![0u32; cnt];
-                read_fixed(m, leader, samples, leader * s, &mut buf);
-                m.busy_cycles_fixed(leader, costs::SORT_CYC_PER_CMP * cnt as f64 * (cnt.max(2) as f64).log2());
-                buf.sort_unstable();
-                write_fixed(m, leader, collected, leader * s, &buf);
-            }
-            m.barrier();
-            // The first leader merges the (sorted) group blocks and
-            // publishes the splitters.
-            let splitter_arr = m.alloc((p - 1).max(1), Placement::Node(0), "splitters");
-            {
-                let mut buf = vec![0u32; total];
-                read_fixed(m, 0, collected, 0, &mut buf);
-                m.busy_cycles_fixed(0, costs::SORT_CYC_PER_CMP * total as f64 * (n_groups.max(2) as f64).log2());
-                buf.sort_unstable();
-                let spl: Vec<u32> = (1..p).map(|k| buf[k * total / p]).collect();
-                if !spl.is_empty() {
-                    write_fixed(m, 0, splitter_arr, 0, &spl);
-                }
-                all = buf;
-            }
-            m.barrier();
-            // Everyone reads the shared splitters (fine-grained shared read).
-            let mut spl = vec![0u32; (p - 1).max(1)];
-            for pe in 0..p {
-                if p > 1 {
-                    read_fixed(m, pe, splitter_arr, 0, &mut spl);
-                }
-            }
-            m.barrier();
-            return (1..p).map(|k| all[k * total / p]).collect();
-        }
-        Model::Mpi(mode) => {
-            let replicas: Vec<ArrayId> = (0..p)
-                .map(|pe| m.alloc(total, Placement::Node(m.topo().node_of(pe)), "sample-replica"))
-                .collect();
-            let contribs: Vec<(ArrayId, usize)> = (0..p).map(|j| (samples, j * s)).collect();
-            let mut mpi = Mpi::new(m, mode, 1);
-            for pe in 0..p {
-                mpi.allgather(m, pe, &contribs, s, replicas[pe]);
-                // Redundant local sort + selection on every rank.
-                let mut buf = vec![0u32; total];
-                read_fixed(m, pe, replicas[pe], 0, &mut buf);
-                m.busy_cycles_fixed(pe, costs::SORT_CYC_PER_CMP * total as f64 * (total.max(2) as f64).log2());
-                buf.sort_unstable();
-                if pe == 0 {
-                    all = buf;
-                }
-            }
-            m.barrier();
-        }
-        Model::Shmem => {
-            let replicas: Vec<ArrayId> = (0..p)
-                .map(|pe| m.alloc(total, Placement::Node(m.topo().node_of(pe)), "sample-replica"))
-                .collect();
-            let contribs: Vec<(ArrayId, usize)> = (0..p).map(|j| (samples, j * s)).collect();
-            let shmem = Shmem::new(m);
-            for pe in 0..p {
-                shmem.fcollect(m, pe, &contribs, s, replicas[pe]);
-                let mut buf = vec![0u32; total];
-                read_fixed(m, pe, replicas[pe], 0, &mut buf);
-                m.busy_cycles_fixed(pe, costs::SORT_CYC_PER_CMP * total as f64 * (total.max(2) as f64).log2());
-                buf.sort_unstable();
-                if pe == 0 {
-                    all = buf;
-                }
-            }
-            m.barrier();
-        }
-    }
-    (1..p).map(|k| all[k * total / p]).collect()
-}
-
-/// Exchange the per-pair key counts ahead of the all-to-all.
-fn exchange_counts(m: &mut Machine, model: Model, counts: &[Vec<u32>]) {
+/// Exchange the per-pair key counts ahead of the all-to-all: publish every
+/// row into the shared/symmetric count matrix, then replicate it through
+/// the model's collective.
+fn exchange_counts(m: &mut Machine, comm: &mut dyn Communicator, counts: &[Vec<u32>]) {
     let p = m.n_procs();
     if p == 1 {
         return;
@@ -407,34 +320,7 @@ fn exchange_counts(m: &mut Machine, model: Model, counts: &[Vec<u32>]) {
         write_fixed(m, pe, flat_count_arr, pe * p, &counts[pe]);
     }
     m.barrier();
-    match model {
-        Model::Ccsas => {
-            // Everyone reads the shared count matrix directly.
-            for pe in 0..p {
-                let mut buf = vec![0u32; p * p];
-                read_fixed(m, pe, flat_count_arr, 0, &mut buf);
-                m.busy_cycles_fixed(pe, costs::OFFSET_CYC_PER_ENTRY * (p * p) as f64);
-            }
-        }
-        Model::Mpi(mode) => {
-            let mut mpi = Mpi::new(m, mode, 1);
-            let contribs: Vec<(ArrayId, usize)> = (0..p).map(|j| (flat_count_arr, j * p)).collect();
-            for pe in 0..p {
-                let replica = m.alloc(p * p, Placement::Node(m.topo().node_of(pe)), "count-replica");
-                mpi.allgather(m, pe, &contribs, p, replica);
-                m.busy_cycles_fixed(pe, costs::OFFSET_CYC_PER_ENTRY * (p * p) as f64);
-            }
-        }
-        Model::Shmem => {
-            let shmem = Shmem::new(m);
-            let contribs: Vec<(ArrayId, usize)> = (0..p).map(|j| (flat_count_arr, j * p)).collect();
-            for pe in 0..p {
-                let replica = m.alloc(p * p, Placement::Node(m.topo().node_of(pe)), "count-replica");
-                shmem.fcollect(m, pe, &contribs, p, replica);
-                m.busy_cycles_fixed(pe, costs::OFFSET_CYC_PER_ENTRY * (p * p) as f64);
-            }
-        }
-    }
+    comm.replicate_counts(m, flat_count_arr);
     m.barrier();
 }
 

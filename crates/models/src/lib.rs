@@ -24,12 +24,14 @@
 //! intra-phase writes are to disjoint locations, and it makes the whole
 //! simulation deterministic.
 
+pub mod comm;
 pub mod mpi;
 pub mod prefix;
 pub mod shmem;
 
 use ccsort_machine::{ArrayId, Bucket, Machine, Pattern};
 
+pub use comm::{CcsasComm, Communicator, CostModel, ExchangePlan, MpiComm, Permute, ShmemComm};
 pub use mpi::{Mpi, MpiMode};
 pub use prefix::PrefixTree;
 pub use shmem::Shmem;

@@ -1,65 +1,93 @@
-//! The three programming models, on real threads.
+//! One sorting algorithm, three programming models, one trait.
 //!
 //! ```text
-//! cargo run --release --example programming_models [n] [ranks]
+//! cargo run --release --example programming_models [n] [p]
 //! ```
 //!
-//! Demonstrates the paper's three ways of writing the same parallel
-//! program, using this crate's in-process runtimes:
-//!
-//! 1. **Shared address space** — rayon threads writing directly into a
-//!    shared output ([`ccsort::parallel::par_radix_sort`]);
-//! 2. **Message passing** — SPMD ranks exchanging histograms with
-//!    `allgather` and key chunks with one message per contiguously-destined
-//!    chunk ([`ccsort::parallel::msg`]);
-//! 3. **Symmetric heap** — one-sided `put`/`get` with barrier epochs and
-//!    receiver-initiated chunk pulls ([`ccsort::parallel::sym`]).
-//!
-//! All three sort the same input and must agree.
+//! The paper's comparison is *the same radix sort* written under CC-SAS,
+//! MPI and SHMEM. After the communicator refactor that sentence is literal
+//! code: [`ccsort::algos::radix::sort`] is the single skeleton
+//! (histogram → combine → permute/exchange per pass), and each programming
+//! model is a [`ccsort::models::Communicator`] implementation handed to it.
+//! This example builds one communicator per model, runs the *identical*
+//! skeleton through each on the simulated Origin 2000, and prints the
+//! BUSY/LMEM/RMEM/SYNC breakdowns the paper compares — plus the two SHMEM
+//! exchange directions (`get` vs `put`, §2) that the trait made nearly
+//! free to add.
 
-use std::time::Instant;
-
-use ccsort::parallel::msg::{radix_sort_msg, spawn_spmd};
-use ccsort::parallel::sym::radix_sort_shmem;
-use ccsort::parallel::par_radix_sort;
+use ccsort::algos::costs;
+use ccsort::algos::dist::{generate, Dist, KEY_BITS};
+use ccsort::algos::radix;
+use ccsort::machine::{Machine, MachineConfig, Placement};
+use ccsort::models::{CcsasComm, Communicator, MpiComm, MpiMode, Permute, ShmemComm};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1 << 21);
-    let ranks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
+    let p: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let r = 8;
 
-    // A tiny SPMD demo first: allgather of rank ids.
-    println!("== mini-MPI demo: allgather over {ranks} ranks ==");
-    let gathered = spawn_spmd::<usize, _, _>(ranks, |comm| {
-        comm.barrier();
-        comm.allgather(comm.rank() * comm.rank())
-    });
-    println!("rank 0 gathered squares: {:?}", gathered[0]);
+    // Every entry is the same algorithm; only the transport differs.
+    let variants: Vec<(&str, Box<dyn Communicator>)> = vec![
+        ("CC-SAS (direct scatter)", Box::new(CcsasComm::new(Permute::DirectScatter, costs::comm_costs()))),
+        ("CC-SAS-NEW (local buffer)", Box::new(CcsasComm::new(Permute::ContiguousCopy, costs::comm_costs()))),
+        ("MPI (chunk messages)", Box::new(MpiComm::new(MpiMode::Direct, Permute::ChunkMessages, costs::comm_costs()))),
+        ("MPI (coalesced, IS-style)", Box::new(MpiComm::new(MpiMode::Direct, Permute::CoalescedMessages, costs::comm_costs()))),
+        ("SHMEM (receiver get)", Box::new(ShmemComm::new(Permute::ReceiverGet, costs::comm_costs()))),
+        ("SHMEM (sender put)", Box::new(ShmemComm::new(Permute::SenderPut, costs::comm_costs()))),
+    ];
 
-    let keys: Vec<u32> = (0..n as u64)
-        .map(|i| {
-            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            (x >> 33) as u32
-        })
-        .collect();
-    println!("\n== sorting {n} keys under each model ==");
+    println!("one radix-sort skeleton x {} communicators", variants.len());
+    println!("n = {n} Gauss keys, p = {p} simulated processors (machine scale 1/16)\n");
+    println!(
+        "{:>28} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "BUSY us", "LMEM us", "RMEM us", "SYNC us", "total ms"
+    );
 
-    let mut shared = keys.clone();
-    let t = Instant::now();
-    par_radix_sort(&mut shared);
-    println!("{:>24}: {:>8.1} ms", "shared address space", t.elapsed().as_secs_f64() * 1e3);
+    let mut reference: Option<Vec<u32>> = None;
+    for (name, mut comm) in variants {
+        let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(16));
+        let a = m.alloc(n, Placement::Partitioned { parts: p }, "keys0");
+        let b = m.alloc(n, Placement::Partitioned { parts: p }, "keys1");
+        let input = generate(Dist::Gauss, n, p, r, 271828);
+        m.raw_mut(a).copy_from_slice(&input);
 
-    let mut mp = keys.clone();
-    let t = Instant::now();
-    radix_sort_msg(&mut mp, ranks, 8);
-    println!("{:>24}: {:>8.1} ms", "message passing", t.elapsed().as_secs_f64() * 1e3);
-    assert_eq!(mp, shared);
+        let out = radix::sort(&mut m, comm.as_mut(), [a, b], n, r, KEY_BITS);
 
-    let mut sh = keys.clone();
-    let t = Instant::now();
-    radix_sort_shmem(&mut sh, ranks, 8);
-    println!("{:>24}: {:>8.1} ms", "symmetric heap (shmem)", t.elapsed().as_secs_f64() * 1e3);
-    assert_eq!(sh, shared);
+        // Bit-identical output across models: the skeleton owns the
+        // algorithm, the communicator only moves bytes.
+        let sorted = m.raw(out).to_vec();
+        match &reference {
+            None => {
+                let mut expect = input;
+                expect.sort_unstable();
+                assert_eq!(sorted, expect, "{name} must sort");
+                reference = Some(sorted);
+            }
+            Some(expect) => assert_eq!(&sorted, expect, "{name} diverged from the other models"),
+        }
 
-    println!("all three models produced identical sorted output");
+        let mean = {
+            let mut t = ccsort::machine::TimeBreakdown::default();
+            for pe in 0..p {
+                t.add(&m.breakdown(pe));
+            }
+            t.busy /= p as f64;
+            t.lmem /= p as f64;
+            t.rmem /= p as f64;
+            t.sync /= p as f64;
+            t
+        };
+        println!(
+            "{:>28} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.2}",
+            name,
+            mean.busy / 1e3,
+            mean.lmem / 1e3,
+            mean.rmem / 1e3,
+            mean.sync / 1e3,
+            m.parallel_time() / 1e6
+        );
+    }
+
+    println!("\nall six instantiations produced bit-identical sorted output");
 }

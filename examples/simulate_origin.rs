@@ -17,11 +17,8 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let alg = args
         .next()
-        .map(|s| Algorithm::parse(&s).unwrap_or_else(|| {
-            eprintln!(
-                "unknown algorithm {s}; choose one of: {}",
-                Algorithm::ALL.map(|a| a.name()).join(", ")
-            );
+        .map(|s| Algorithm::parse(&s).unwrap_or_else(|e| {
+            eprintln!("{e}");
             std::process::exit(2);
         }))
         .unwrap_or(Algorithm::RadixShmem);

@@ -7,7 +7,7 @@
 //! is invisible to differential testing. `inject_missing_barrier` plants
 //! exactly that bug (one barrier keeps its timing but loses its
 //! happens-before edge) and the detector must fire, for every one of the
-//! paper's ten programs; conversely the unmodified programs must be
+//! paper's eleven programs; conversely the unmodified programs must be
 //! race-free across a quick parameter matrix.
 
 use ccsort::algos::{run_experiment_audited, Algorithm, Dist, ExpConfig};
@@ -62,7 +62,7 @@ fn wait_until_is_not_a_happens_before_edge() {
     assert_eq!(m.race_reports().len(), 1);
 }
 
-/// The core acceptance requirement: for every one of the ten simulator
+/// The core acceptance requirement: for every one of the eleven simulator
 /// programs, removing some barrier's happens-before edge produces a
 /// detected race — while the output stays a sorted permutation (the
 /// schedule is unchanged), which is exactly why differential testing alone

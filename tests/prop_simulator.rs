@@ -172,6 +172,7 @@ proptest! {
             Algorithm::RadixMpiDirect => { radix::mpi::sort(&mut m, MpiMode::Direct, [a, b], n, 8, KEY_BITS); }
             Algorithm::RadixMpiCoalesced => { radix::mpi_coalesced::sort(&mut m, MpiMode::Direct, [a, b], n, 8, KEY_BITS); }
             Algorithm::RadixShmem => { radix::shmem::sort(&mut m, [a, b], n, 8, KEY_BITS); }
+            Algorithm::RadixShmemPut => { radix::shmem_put::sort(&mut m, [a, b], n, 8, KEY_BITS); }
             Algorithm::SampleCcsas => { sample::ccsas::sort(&mut m, [a, b], n, 8, KEY_BITS); }
             Algorithm::SampleMpiStaged => { sample::mpi::sort(&mut m, MpiMode::Staged, [a, b], n, 8, KEY_BITS); }
             Algorithm::SampleMpiDirect => { sample::mpi::sort(&mut m, MpiMode::Direct, [a, b], n, 8, KEY_BITS); }
