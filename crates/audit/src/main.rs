@@ -4,7 +4,7 @@
 //! cargo run -p ccsort-audit -- sweep [--quick] [--seed S] [--races]
 //! cargo run -p ccsort-audit -- races [--quick] [--seed S]
 //! cargo run -p ccsort-audit -- replay --alg NAME|all --dist NAME \
-//!     --n N --p P --r R --seed S [--scale K]
+//!     --n N --p P --r R --seed S [--scale K] [--dir full-map|lp:N|cv:N]
 //! ```
 //!
 //! `sweep` exits non-zero if any point fails; every failure line embeds the
@@ -15,7 +15,7 @@
 //! the threaded sorts and the distribution validator.
 
 use ccsort_audit::{audit_point, audit_simulated, validate_dist, Point};
-use ccsort_algos::{Algorithm, Dist};
+use ccsort_algos::{Algorithm, DirectoryMode, Dist};
 use rayon::prelude::*;
 
 /// Expand the (points × processor counts × distributions) grid in the
@@ -23,32 +23,87 @@ use rayon::prelude::*;
 /// seeded machine — so the sweeps evaluate them with rayon and print the
 /// collected results sequentially, keeping stdout byte-identical to the old
 /// sequential loop regardless of worker count.
-fn grid(points: &[(usize, u32, u64)], ps: &[usize]) -> Vec<(usize, u32, u64, usize, Dist)> {
+fn grid(points: &[(usize, u32, u64)], ps: &[usize]) -> Vec<Point> {
     let mut cells = Vec::new();
     for &(n, r, seed) in points {
         for &p in ps {
             for dist in Dist::ALL {
-                cells.push((n, r, seed, p, dist));
+                cells.push(Point { dist, n, p, r, seed, scale: 256, dir: DirectoryMode::FullMap });
             }
         }
     }
     cells
 }
 
+/// Directory-scaling cells past the real machine's 64 processors: the three
+/// sharer-set representations at large p, one distribution each (the audit
+/// checks invariants and output, not statistics, so one dist suffices per
+/// mode). `--quick` keeps only the p = 128 limited-pointer cell CI runs.
+fn large_p_cells(quick: bool, seed: u64) -> Vec<Point> {
+    let mut cells = vec![Point {
+        dist: Dist::Random,
+        n: 1 << 10,
+        p: 128,
+        r: 6,
+        seed,
+        scale: 256,
+        dir: DirectoryMode::LimitedPointer(8),
+    }];
+    if !quick {
+        cells.push(Point {
+            dist: Dist::Random,
+            n: 1 << 10,
+            p: 128,
+            r: 6,
+            seed,
+            scale: 256,
+            dir: DirectoryMode::FullMap,
+        });
+        cells.push(Point {
+            dist: Dist::Stagger,
+            n: 1 << 10,
+            p: 256,
+            r: 6,
+            seed,
+            scale: 256,
+            dir: DirectoryMode::CoarseVector(8),
+        });
+        cells.push(Point {
+            dist: Dist::Stagger,
+            n: 1 << 10,
+            p: 256,
+            r: 6,
+            seed,
+            scale: 256,
+            dir: DirectoryMode::FullMap,
+        });
+    }
+    cells
+}
+
 /// Run `audit` over every cell in parallel, then print the per-cell status
 /// lines in grid order and return the flattened failure list.
-fn run_grid<F>(cells: &[(usize, u32, u64, usize, Dist)], audit: F) -> Vec<String>
+fn run_grid<F>(cells: &[Point], audit: F) -> Vec<String>
 where
     F: Fn(&Point) -> Vec<String> + Sync,
 {
-    let results: Vec<Vec<String>> = cells
-        .par_iter()
-        .map(|&(n, r, seed, p, dist)| audit(&Point { dist, n, p, r, seed, scale: 256 }))
-        .collect();
+    let results: Vec<Vec<String>> = cells.par_iter().map(|pt| audit(pt)).collect();
     let mut failures = Vec::new();
-    for (&(n, r, seed, p, dist), errs) in cells.iter().zip(&results) {
+    for (pt, errs) in cells.iter().zip(&results) {
         let status = if errs.is_empty() { "ok" } else { "FAIL" };
-        println!("{status:>4}  {} n={n} p={p} r={r} seed={seed}", dist.name());
+        let dir = if pt.dir == DirectoryMode::FullMap {
+            String::new()
+        } else {
+            format!(" dir={}", Point::dir_flag(pt.dir))
+        };
+        println!(
+            "{status:>4}  {} n={} p={} r={} seed={}{dir}",
+            pt.dist.name(),
+            pt.n,
+            pt.p,
+            pt.r,
+            pt.seed
+        );
         failures.extend(errs.iter().cloned());
     }
     failures
@@ -65,7 +120,8 @@ fn main() {
             eprintln!(
                 "usage:\n  ccsort-audit sweep [--quick] [--seed S] [--races]\n  \
                  ccsort-audit races [--quick] [--seed S]\n  \
-                 ccsort-audit replay --alg NAME|all --dist NAME --n N --p P --r R --seed S [--scale K]"
+                 ccsort-audit replay --alg NAME|all --dist NAME --n N --p P --r R --seed S \
+                 [--scale K] [--dir full-map|lp:N|cv:N]"
             );
             2
         }
@@ -104,8 +160,8 @@ fn sweep(args: &[String]) -> i32 {
     };
 
     let cells = grid(&points, &ps);
-    let checked = cells.len();
-    let failures = run_grid(&cells, |pt| {
+    let mut checked = cells.len();
+    let mut failures = run_grid(&cells, |pt| {
         let mut errs = validate_dist(pt.dist, pt.n, pt.p, pt.r, pt.seed);
         // The old zero-fill bug only bit when p ∤ n; always probe a
         // small non-divisible companion point too.
@@ -115,6 +171,15 @@ fn sweep(args: &[String]) -> i32 {
         errs.extend(audit_point(pt, &Algorithm::ALL));
         errs
     });
+
+    // Directory-scaling cells (p > 64): simulator-only — the threaded sorts
+    // have no directory, and one radix + one sample program exercise every
+    // sharer-set path the full program matrix would.
+    let large = large_p_cells(quick, seed);
+    checked += large.len();
+    failures.extend(run_grid(&large, |pt| {
+        audit_simulated(pt, &[Algorithm::RadixCcsas, Algorithm::SampleCcsas])
+    }));
 
     if failures.is_empty() {
         println!("sweep clean: {checked} points, all implementations agree, all invariants hold");
@@ -146,8 +211,16 @@ fn races(args: &[String]) -> i32 {
     };
 
     let cells = grid(&points, &ps);
-    let checked = cells.len();
-    let failures = run_grid(&cells, |pt| audit_simulated(pt, &Algorithm::ALL));
+    let mut checked = cells.len();
+    let mut failures = run_grid(&cells, |pt| audit_simulated(pt, &Algorithm::ALL));
+
+    // The race matrix also covers the imprecise directory modes at large p:
+    // over-targeted invalidations must not introduce (or mask) races.
+    let large = large_p_cells(quick, seed);
+    checked += large.len();
+    failures.extend(run_grid(&large, |pt| {
+        audit_simulated(pt, &[Algorithm::RadixCcsas, Algorithm::SampleCcsas])
+    }));
 
     if failures.is_empty() {
         println!("race sweep clean: {checked} points, all simulator programs race-free");
@@ -183,6 +256,13 @@ fn replay(args: &[String]) -> i32 {
             }
         }
     };
+    let dir = match flag_value(args, "--dir").map(Point::parse_dir_flag).transpose() {
+        Ok(d) => d.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let pt = Point {
         dist,
         n: parse_or_exit(args, "--n", None),
@@ -190,6 +270,7 @@ fn replay(args: &[String]) -> i32 {
         r: parse_or_exit(args, "--r", None),
         seed: parse_or_exit(args, "--seed", None),
         scale: parse_or_exit(args, "--scale", Some(256)),
+        dir,
     };
     if pt.p < 1 || pt.n < pt.p {
         eprintln!("need --p >= 1 and --n >= --p (got n={} p={})", pt.n, pt.p);
@@ -197,6 +278,17 @@ fn replay(args: &[String]) -> i32 {
     }
     if pt.r < 1 || pt.r > 31 {
         eprintln!("need --r in 1..=31 (got {})", pt.r);
+        return 2;
+    }
+    // Route the full config validation (machine caps, per-mode directory
+    // constraints) through the Result path so a bad replay invocation is a
+    // usage error (exit 2) with the offending field named, not a panic.
+    if let Err(e) = ccsort_algos::ExpConfig::new(algs[0], pt.n, pt.p)
+        .radix_bits(pt.r)
+        .directory_mode(pt.dir)
+        .validate()
+    {
+        eprintln!("invalid replay point: {e}");
         return 2;
     }
 

@@ -13,7 +13,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ccsort_algos::dist::generate;
-use ccsort_algos::{run_experiment_audited, Algorithm, Dist, ExpConfig};
+use ccsort_algos::{run_experiment_audited, Algorithm, Dist, DirectoryMode, ExpConfig};
 use ccsort_parallel::msg::{radix_sort_msg, sample_sort_msg};
 use ccsort_parallel::sym::radix_sort_shmem;
 use ccsort_parallel::{
@@ -30,13 +30,42 @@ pub struct Point {
     pub seed: u64,
     /// Machine scale denominator for the simulator runs.
     pub scale: usize,
+    /// Directory sharer-set representation for the simulator runs
+    /// (the threaded sorts have no directory; they ignore it).
+    pub dir: DirectoryMode,
 }
 
 impl Point {
+    /// Spell a [`DirectoryMode`] as a `--dir` flag value.
+    pub fn dir_flag(mode: DirectoryMode) -> String {
+        match mode {
+            DirectoryMode::FullMap => "full-map".to_string(),
+            DirectoryMode::LimitedPointer(i) => format!("lp:{i}"),
+            DirectoryMode::CoarseVector(k) => format!("cv:{k}"),
+        }
+    }
+
+    /// Parse a `--dir` flag value (`full-map`, `lp:N`, `cv:N`).
+    pub fn parse_dir_flag(s: &str) -> Result<DirectoryMode, String> {
+        if s == "full-map" {
+            return Ok(DirectoryMode::FullMap);
+        }
+        let parse_n = |rest: &str| {
+            rest.parse::<usize>().map_err(|_| format!("bad --dir parameter in {s:?}"))
+        };
+        if let Some(rest) = s.strip_prefix("lp:") {
+            return Ok(DirectoryMode::LimitedPointer(parse_n(rest)?));
+        }
+        if let Some(rest) = s.strip_prefix("cv:") {
+            return Ok(DirectoryMode::CoarseVector(parse_n(rest)?));
+        }
+        Err(format!("unknown directory mode {s:?}; expected full-map, lp:N or cv:N"))
+    }
+
     /// The replayable failure artifact: a command that re-runs exactly this
     /// point (optionally restricted to one simulator program).
     pub fn replay_command(&self, alg: Option<Algorithm>) -> String {
-        format!(
+        let mut cmd = format!(
             "cargo run -p ccsort-audit -- replay --alg {} --dist {} --n {} --p {} --r {} --seed {} --scale {}",
             alg.map(|a| a.name()).unwrap_or("all"),
             self.dist.name(),
@@ -45,7 +74,11 @@ impl Point {
             self.r,
             self.seed,
             self.scale
-        )
+        );
+        if self.dir != DirectoryMode::FullMap {
+            cmd.push_str(&format!(" --dir {}", Point::dir_flag(self.dir)));
+        }
+        cmd
     }
 
     fn fail(&self, alg: Option<Algorithm>, msg: &str) -> String {
@@ -58,6 +91,7 @@ impl Point {
             .dist(self.dist)
             .seed(self.seed)
             .scale(self.scale)
+            .directory_mode(self.dir)
     }
 }
 
@@ -187,7 +221,15 @@ mod tests {
     fn regression_points_pass_the_full_oracle() {
         // The two checked-in proptest counterexamples, end to end.
         for &(n, p) in &[(1usize << 10, 3usize), (64, 7)] {
-            let pt = Point { dist: Dist::Stagger, n, p, r: 6, seed: 0, scale: 256 };
+            let pt = Point {
+                dist: Dist::Stagger,
+                n,
+                p,
+                r: 6,
+                seed: 0,
+                scale: 256,
+                dir: DirectoryMode::FullMap,
+            };
             let errs = audit_point(&pt, &Algorithm::ALL);
             assert!(errs.is_empty(), "{errs:?}");
         }
@@ -195,11 +237,29 @@ mod tests {
 
     #[test]
     fn replay_command_is_parseable_shape() {
-        let pt = Point { dist: Dist::Stagger, n: 1024, p: 3, r: 6, seed: 0, scale: 256 };
+        let mut pt = Point {
+            dist: Dist::Stagger,
+            n: 1024,
+            p: 3,
+            r: 6,
+            seed: 0,
+            scale: 256,
+            dir: DirectoryMode::FullMap,
+        };
         let cmd = pt.replay_command(Some(Algorithm::RadixCcsas));
         assert!(cmd.contains("--alg radix-ccsas"));
         assert!(cmd.contains("--dist stagger"));
         assert!(cmd.contains("--n 1024"));
         assert!(cmd.contains("--p 3"));
+        // Full-map is the default and stays implicit; other modes round-trip
+        // through the --dir flag.
+        assert!(!cmd.contains("--dir"));
+        pt.dir = DirectoryMode::LimitedPointer(8);
+        let cmd = pt.replay_command(None);
+        assert!(cmd.contains("--dir lp:8"), "{cmd}");
+        assert_eq!(Point::parse_dir_flag("lp:8"), Ok(DirectoryMode::LimitedPointer(8)));
+        assert_eq!(Point::parse_dir_flag("cv:4"), Ok(DirectoryMode::CoarseVector(4)));
+        assert_eq!(Point::parse_dir_flag("full-map"), Ok(DirectoryMode::FullMap));
+        assert!(Point::parse_dir_flag("bogus").is_err());
     }
 }

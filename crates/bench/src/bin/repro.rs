@@ -11,7 +11,7 @@
 //!   --simkeys N      cap on simulated keys per run (default 2097152); each
 //!                    size label runs at scale = label/N (min 1)
 //!   --sizes A,B,..   size labels to run (subset of 1M,4M,16M,64M,256M)
-//!   --procs A,B,..   processor counts (default 16,32,64)
+//!   --procs A,B,..   processor counts (default 16,32,64,128,256)
 //!   --seed N         RNG seed (default 271828)
 //!   --json FILE      dump all generated points as JSON
 //!   --verbose        per-processor detail in breakdown figures
@@ -87,7 +87,11 @@ fn main() {
         opts = RunnerOpts::quick();
         opts.verbose = v;
     }
-    assert!(opts.procs.iter().all(|&p| (1..=64).contains(&p)), "processor counts must be in 1..=64");
+    assert!(
+        opts.procs.iter().all(|&p| (1..=ccsort_machine::MAX_PROCS).contains(&p)),
+        "processor counts must be in 1..={}",
+        ccsort_machine::MAX_PROCS
+    );
 
     println!(
         "# machine: Origin 2000 preset; per-size scale = label/{} (min 1); sizes {:?}; procs {:?}",

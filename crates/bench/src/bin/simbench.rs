@@ -7,14 +7,20 @@
 //!
 //! The grid is the one behind the `machine_hotpath`/`machine_scattered`
 //! criterion benches: {streamed, scattered, permutation} × race detector
-//! {off, on} × p ∈ {1, 16, 64}, each measured twice — with the fast path
-//! on (current code: streamed runs plus the batched scattered walk) and
-//! off (the per-line reference walk, i.e. the pre-optimization cost
+//! {off, on} × p ∈ {1, 16, 64, 128}, each measured twice — with the fast
+//! path on (current code: streamed runs plus the batched scattered walk)
+//! and off (the per-line reference walk, i.e. the pre-optimization cost
 //! model). The metric is simulated key touches per wall-clock second; the
 //! `speedup` field of each fast-path row is its throughput over the
 //! matching reference row, so the "≥ 2× on streamed-heavy programs" and
 //! "≥ 2× on the batched scattered walk" claims are directly readable from
-//! the file.
+//! the file. A final pair of large-p rows re-runs the permutation program
+//! at p = 128 under the imprecise directory representations
+//! (limited-pointer and coarse-vector; see `DirectoryMode`). Their
+//! simulated time matches full-map — the program's writes are
+//! exclusive-owner handoffs, which every representation tracks precisely —
+//! so the rows isolate the host-side cost of the representation's
+//! bookkeeping in the hot loop.
 //!
 //! The JSON is written by hand rather than through serde so the format is
 //! identical on every toolchain the repo builds against.
@@ -22,7 +28,8 @@
 use std::io::Write;
 use std::time::Instant;
 
-use ccsort_bench::hotpath::{run_cell, HotpathResult, Program, GRID_PROCS};
+use ccsort_bench::hotpath::{run_cell_dir, HotpathResult, Program, GRID_PROCS};
+use ccsort_machine::DirectoryMode;
 
 fn usage() -> ! {
     eprintln!("usage: simbench [--out <path>] [--quick]");
@@ -57,61 +64,73 @@ fn main() {
     // second than the scattered one, so it gets proportionally more passes.
     let n = 1 << 18;
 
-    let t0 = Instant::now();
-    let mut rows: Vec<(HotpathResult, f64)> = Vec::new();
-    for program in [Program::Streamed, Program::Scattered, Program::Permutation] {
-        let passes = match program {
-            Program::Streamed => {
-                if quick {
-                    64
-                } else {
-                    256
-                }
-            }
-            Program::Scattered | Program::Permutation => {
-                if quick {
-                    4
-                } else {
-                    16
-                }
-            }
-        };
-        for race in [false, true] {
-            for p in GRID_PROCS {
-                // Interleave the variants and keep each one's best rep:
-                // single-core turbo/thermal drift otherwise biases whichever
-                // variant happens to run later.
-                let mut slow = run_cell(program, p, race, false, n, passes);
-                let mut fast = run_cell(program, p, race, true, n, passes);
-                for _ in 0..2 {
-                    let s = run_cell(program, p, race, false, n, passes);
-                    if s.keys_per_sec > slow.keys_per_sec {
-                        slow = s;
-                    }
-                    let f = run_cell(program, p, race, true, n, passes);
-                    if f.keys_per_sec > fast.keys_per_sec {
-                        fast = f;
-                    }
-                }
-                assert_eq!(
-                    fast.simulated_ns, slow.simulated_ns,
-                    "fast path must be exact: {} race={race} p={p}",
-                    program.name()
-                );
-                let speedup = fast.keys_per_sec / slow.keys_per_sec.max(1e-9);
-                println!(
-                    "{:9}  race={:5}  p={:2}  ref {:>10.0} keys/s  fast {:>10.0} keys/s  speedup {:>5.2}x",
-                    program.name(),
-                    race,
-                    p,
-                    slow.keys_per_sec,
-                    fast.keys_per_sec,
-                    speedup
-                );
-                rows.push((slow, 0.0));
-                rows.push((fast, speedup));
+    let passes_for = |program: Program| match program {
+        Program::Streamed => {
+            if quick {
+                64
+            } else {
+                256
             }
         }
+        Program::Scattered | Program::Permutation => {
+            if quick {
+                4
+            } else {
+                16
+            }
+        }
+    };
+
+    let t0 = Instant::now();
+    let mut rows: Vec<(HotpathResult, f64)> = Vec::new();
+    // Measure one (program, p, race, dir) cell both ways and keep each
+    // variant's best of three interleaved reps: single-core turbo/thermal
+    // drift otherwise biases whichever variant happens to run later.
+    let mut measure = |program: Program, p: usize, race: bool, dir: DirectoryMode| {
+        let passes = passes_for(program);
+        let mut slow = run_cell_dir(program, p, race, false, n, passes, dir);
+        let mut fast = run_cell_dir(program, p, race, true, n, passes, dir);
+        for _ in 0..2 {
+            let s = run_cell_dir(program, p, race, false, n, passes, dir);
+            if s.keys_per_sec > slow.keys_per_sec {
+                slow = s;
+            }
+            let f = run_cell_dir(program, p, race, true, n, passes, dir);
+            if f.keys_per_sec > fast.keys_per_sec {
+                fast = f;
+            }
+        }
+        assert_eq!(
+            fast.simulated_ns, slow.simulated_ns,
+            "fast path must be exact: {} race={race} p={p} dir={dir}",
+            program.name()
+        );
+        let speedup = fast.keys_per_sec / slow.keys_per_sec.max(1e-9);
+        println!(
+            "{:9}  race={:5}  p={:3}  dir={:20}  ref {:>10.0} keys/s  fast {:>10.0} keys/s  speedup {:>5.2}x",
+            program.name(),
+            race,
+            p,
+            dir.to_string(),
+            slow.keys_per_sec,
+            fast.keys_per_sec,
+            speedup
+        );
+        rows.push((slow, 0.0));
+        rows.push((fast, speedup));
+    };
+
+    for program in [Program::Streamed, Program::Scattered, Program::Permutation] {
+        for race in [false, true] {
+            for p in GRID_PROCS {
+                measure(program, p, race, DirectoryMode::FullMap);
+            }
+        }
+    }
+    // Large-p directory rows: the scattered-write-heavy program under the
+    // imprecise sharer-set representations.
+    for dir in [DirectoryMode::LimitedPointer(8), DirectoryMode::CoarseVector(8)] {
+        measure(Program::Permutation, 128, false, dir);
     }
 
     let mut json = String::new();
@@ -122,10 +141,11 @@ fn main() {
     json.push_str("  \"results\": [\n");
     for (i, (r, speedup)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"program\": \"{}\", \"race_detector\": {}, \"p\": {}, \"fast_path\": {}, \"keys\": {}, \"wall_s\": {}, \"keys_per_sec\": {}, \"simulated_ns\": {}{}}}{}\n",
+            "    {{\"program\": \"{}\", \"race_detector\": {}, \"p\": {}, \"directory\": \"{}\", \"fast_path\": {}, \"keys\": {}, \"wall_s\": {}, \"keys_per_sec\": {}, \"simulated_ns\": {}{}}}{}\n",
             r.program.name(),
             r.race_detector,
             r.p,
+            r.dir,
             r.fast_path,
             r.keys,
             num(r.wall_s),

@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use ccsort_machine::{Machine, MachineConfig, Placement};
+use ccsort_machine::{DirectoryMode, Machine, MachineConfig, Placement};
 
 /// Which access pattern a microprogram exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +56,8 @@ pub struct HotpathResult {
     pub p: usize,
     pub race_detector: bool,
     pub fast_path: bool,
+    /// Directory sharer-set representation the machine ran with.
+    pub dir: DirectoryMode,
     /// Simulated element touches performed.
     pub keys: u64,
     /// Host wall-clock seconds for the touch loop (excludes machine setup).
@@ -67,12 +69,13 @@ pub struct HotpathResult {
     pub simulated_ns: f64,
 }
 
-/// Processor counts the grid covers (per the issue: 1, a mid point, full
-/// machine).
-pub const GRID_PROCS: [usize; 3] = [1, 16, 64];
+/// Processor counts the grid covers: 1, a mid point, the paper's full
+/// machine, and one count past 64 so the multi-word full-map directory
+/// (and the large-p coherence walk generally) shows up in the trajectory.
+pub const GRID_PROCS: [usize; 4] = [1, 16, 64, 128];
 
-fn build(p: usize, race: bool, fast: bool) -> Machine {
-    let mut cfg = MachineConfig::origin2000(p);
+fn build(p: usize, race: bool, fast: bool, dir: DirectoryMode) -> Machine {
+    let mut cfg = MachineConfig::origin2000(p).with_directory_mode(dir);
     cfg.race_detector = race;
     cfg.fast_path = fast;
     Machine::new(cfg)
@@ -88,7 +91,24 @@ pub fn run_cell(
     n: usize,
     passes: usize,
 ) -> HotpathResult {
-    let mut m = build(p, race, fast);
+    run_cell_dir(program, p, race, fast, n, passes, DirectoryMode::FullMap)
+}
+
+/// [`run_cell`] with an explicit directory sharer-set representation — the
+/// large-p `simbench` rows run the permutation program under the imprecise
+/// modes too, tracking the host-side cost of their entry bookkeeping in
+/// the coherence walk (simulated time is unchanged there: the program's
+/// writes hand off exclusive lines, which every mode targets precisely).
+pub fn run_cell_dir(
+    program: Program,
+    p: usize,
+    race: bool,
+    fast: bool,
+    n: usize,
+    passes: usize,
+    dir: DirectoryMode,
+) -> HotpathResult {
+    let mut m = build(p, race, fast, dir);
     let arr = m.alloc(n, Placement::Partitioned { parts: p }, "hotpath");
     let chunk = n / p;
     assert!(chunk > 0, "n must be >= p");
@@ -221,6 +241,7 @@ pub fn run_cell(
         p,
         race_detector: race,
         fast_path: fast,
+        dir,
         keys,
         wall_s,
         keys_per_sec: keys as f64 / wall_s.max(1e-9),
@@ -247,6 +268,19 @@ mod tests {
                 );
                 assert_eq!(fast.keys, slow.keys);
             }
+        }
+    }
+
+    /// Fast-path exactness must also hold under the imprecise directory
+    /// representations: limited-pointer overflow broadcasts and coarse
+    /// group invalidations charge identical time on both walks.
+    #[test]
+    fn cells_are_fast_path_exact_in_imprecise_modes() {
+        for dir in [DirectoryMode::LimitedPointer(2), DirectoryMode::CoarseVector(2)] {
+            let fast = run_cell_dir(Program::Permutation, 4, false, true, 1 << 12, 2, dir);
+            let slow = run_cell_dir(Program::Permutation, 4, false, false, 1 << 12, 2, dir);
+            assert_eq!(fast.simulated_ns, slow.simulated_ns, "{dir} diverged");
+            assert_eq!(fast.keys, slow.keys);
         }
     }
 

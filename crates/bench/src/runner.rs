@@ -14,8 +14,10 @@ use serde::Serialize;
 pub const SIZE_LABELS: [(&str, usize); 5] =
     [("1M", 1 << 20), ("4M", 1 << 22), ("16M", 1 << 24), ("64M", 1 << 26), ("256M", 1 << 28)];
 
-/// Processor counts of the speedup figures.
-pub const PROCS: [usize; 3] = [16, 32, 64];
+/// Processor counts of the speedup figures. The paper's machine stops at
+/// p = 64; 128 and 256 extrapolate past it to exercise the directory's
+/// sharer-set representations at scale (see `DirectoryMode`).
+pub const PROCS: [usize; 5] = [16, 32, 64, 128, 256];
 
 /// Options shared by all figure generators.
 #[derive(Debug, Clone)]

@@ -7,7 +7,9 @@
 //! not a sorted permutation of its input reports `verified == false` and
 //! the harness refuses to use it.
 
-use ccsort_machine::{EventCounters, Machine, MachineConfig, Placement, TimeBreakdown};
+use ccsort_machine::{
+    DirectoryMode, EventCounters, Machine, MachineConfig, Placement, TimeBreakdown, MAX_PROCS,
+};
 use ccsort_models::comm::{CcsasComm, Communicator, MpiComm, Permute, ShmemComm};
 use ccsort_models::MpiMode;
 use serde::{Deserialize, Serialize};
@@ -159,6 +161,13 @@ pub struct ExpConfig {
     /// detector's cost in isolation.
     #[serde(default)]
     pub race_detector: bool,
+    /// Sharer-set representation of the coherence directory
+    /// ([`ccsort_machine::DirectoryMode`]). Full-map by default; the
+    /// limited-pointer and coarse-vector modes exist for the directory
+    /// scaling studies at large p. Sorted output is bit-identical across
+    /// modes — only timing and protocol-event counts change.
+    #[serde(default)]
+    pub directory_mode: DirectoryMode,
 }
 
 fn default_true() -> bool {
@@ -181,6 +190,7 @@ impl ExpConfig {
             inject_missing_barrier: None,
             fast_path: default_true(),
             race_detector: false,
+            directory_mode: DirectoryMode::FullMap,
         }
     }
 
@@ -234,6 +244,11 @@ impl ExpConfig {
         self
     }
 
+    pub fn directory_mode(mut self, mode: DirectoryMode) -> Self {
+        self.directory_mode = mode;
+        self
+    }
+
     /// Check the configuration against the machine's and the algorithms'
     /// hard limits before any simulation state is built. Pure host-side
     /// arithmetic: a valid config runs byte-identically with or without the
@@ -242,13 +257,17 @@ impl ExpConfig {
         if self.p == 0 {
             return Err("p = 0: need at least one processor".to_string());
         }
-        if self.p > 64 {
+        if self.p > MAX_PROCS {
             return Err(format!(
-                "p = {}: the simulated directory tracks sharers in a 64-bit \
-                 bitmask, so at most 64 processors are supported",
+                "p = {}: at most {MAX_PROCS} processors are supported (the \
+                 directory scales past 64 through its sharer-set \
+                 representations; see DirectoryMode)",
                 self.p
             ));
         }
+        // Delegate the per-mode directory constraints (pointer width, group
+        // size vs p) to the machine config's own validation.
+        MachineConfig::origin2000(self.p).with_directory_mode(self.directory_mode).validate()?;
         if self.radix_bits == 0 {
             return Err("radix_bits = 0: each pass must consume at least one bit".to_string());
         }
@@ -274,6 +293,7 @@ impl ExpConfig {
         cfg.page_size *= self.page_mult.max(1);
         cfg.fast_path = self.fast_path;
         cfg.race_detector = self.race_detector;
+        cfg.directory_mode = self.directory_mode;
         cfg
     }
 }
@@ -491,9 +511,22 @@ mod tests {
 
     #[test]
     fn validate_rejects_too_many_processors() {
-        let cfg = ExpConfig::new(Algorithm::RadixShmem, 1024, 65);
+        // p = 65 is legal now that the directory scales past one u64 word...
+        assert_eq!(ExpConfig::new(Algorithm::RadixShmem, 1024, 65).validate(), Ok(()));
+        // ...but the MAX_PROCS cap still holds, and the error names p.
+        let cfg = ExpConfig::new(Algorithm::RadixShmem, 1024, MAX_PROCS + 1);
         let err = cfg.validate().unwrap_err();
-        assert!(err.contains("64"), "{err}");
+        assert!(err.contains(&format!("p = {}", MAX_PROCS + 1)), "{err}");
+    }
+
+    #[test]
+    fn validate_checks_directory_mode_against_p() {
+        let bad = ExpConfig::new(Algorithm::RadixCcsas, 1024, 4)
+            .directory_mode(DirectoryMode::CoarseVector(8));
+        assert!(bad.validate().unwrap_err().contains("coarse-vector"));
+        let good = ExpConfig::new(Algorithm::RadixCcsas, 1024, 8)
+            .directory_mode(DirectoryMode::CoarseVector(8));
+        assert_eq!(good.validate(), Ok(()));
     }
 
     #[test]

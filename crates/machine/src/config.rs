@@ -12,6 +12,44 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Hard cap on the processor count. Far beyond the 64-processor Origin 2000
+/// of the paper; large enough for the p = 128/256 directory-scaling studies
+/// while keeping `u16` processor ids comfortable.
+pub const MAX_PROCS: usize = 1024;
+
+/// Sharer-set representation of the coherence directory
+/// (see [`crate::Directory`]).
+///
+/// `FullMap` is the bit-exact default — one presence bit per processor, the
+/// Origin 2000's own format. `LimitedPointer(i)` is Dir-i-B: `i` processor
+/// pointers per entry; an overflowing entry degrades to broadcast
+/// invalidation (every processor charged). `CoarseVector(k)` keeps one bit
+/// per group of `k` consecutive processors; invalidations over-target the
+/// whole group. The imprecise modes trade directory memory for extra
+/// invalidation traffic and controller occupancy — the classic
+/// directory-scaling trade-off this simulator charges through its existing
+/// contention model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DirectoryMode {
+    /// One presence bit per processor; always precise.
+    #[default]
+    FullMap,
+    /// Dir-i-B: `i` pointers, broadcast on overflow.
+    LimitedPointer(usize),
+    /// One presence bit per group of `k` consecutive processors.
+    CoarseVector(usize),
+}
+
+impl std::fmt::Display for DirectoryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectoryMode::FullMap => write!(f, "full-map"),
+            DirectoryMode::LimitedPointer(i) => write!(f, "limited-pointer({i})"),
+            DirectoryMode::CoarseVector(k) => write!(f, "coarse-vector({k})"),
+        }
+    }
+}
+
 /// Geometry of a set-associative cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheGeom {
@@ -46,7 +84,10 @@ impl CacheGeom {
 /// nothing in it consults the host clock or unseeded randomness.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MachineConfig {
-    /// Number of processors (PEs). At most 64 (sharer sets are `u64` bitmasks).
+    /// Number of processors (PEs), up to [`MAX_PROCS`]. The directory's
+    /// sharer-set representation ([`MachineConfig::directory_mode`]) decides
+    /// how such a machine tracks sharers; the full-map default simply grows
+    /// its bit-vector past one 64-bit word.
     pub n_procs: usize,
     /// Processors per node (Origin 2000: 2).
     pub procs_per_node: usize,
@@ -171,6 +212,13 @@ pub struct MachineConfig {
     /// to force the reference paths in equivalence tests.
     #[serde(default = "default_true")]
     pub fast_path: bool,
+
+    /// Sharer-set representation of the coherence directory. The default
+    /// full-map is bit-exact with the pre-existing `u64` bitmask behaviour
+    /// for p <= 64; limited-pointer and coarse-vector model the directory
+    /// organisations machines use to scale past that.
+    #[serde(default)]
+    pub directory_mode: DirectoryMode,
 }
 
 fn default_true() -> bool {
@@ -178,9 +226,11 @@ fn default_true() -> bool {
 }
 
 impl MachineConfig {
-    /// The SGI Origin 2000 used in the paper, at full scale.
+    /// The SGI Origin 2000 used in the paper, at full scale. Processor
+    /// counts past the real machine's 64 extrapolate the same node/router
+    /// structure (useful for the directory-scaling studies); counts beyond
+    /// [`MAX_PROCS`] are rejected by [`MachineConfig::validate`].
     pub fn origin2000(n_procs: usize) -> Self {
-        assert!((1..=64).contains(&n_procs), "1..=64 processors supported");
         MachineConfig {
             n_procs,
             procs_per_node: 2,
@@ -215,7 +265,14 @@ impl MachineConfig {
             fixed_cost_div: 1.0,
             race_detector: false,
             fast_path: default_true(),
+            directory_mode: DirectoryMode::FullMap,
         }
+    }
+
+    /// Builder-style selection of the directory's sharer-set representation.
+    pub fn with_directory_mode(mut self, mode: DirectoryMode) -> Self {
+        self.directory_mode = mode;
+        self
     }
 
     /// Scale the machine down by `1/denom` for running data sets of
@@ -279,20 +336,81 @@ impl MachineConfig {
         self.page_size.trailing_zeros()
     }
 
-    /// Sanity-check invariants; called by `Machine::new`.
-    pub fn validate(&self) {
-        assert!(self.n_procs >= 1 && self.n_procs <= 64);
-        assert!(self.procs_per_node >= 1);
-        assert!(self.nodes_per_router >= 1);
-        assert!(self.page_size >= self.l2.line);
-        assert!(self.page_size.is_power_of_two());
-        assert!(self.l2.line.is_power_of_two());
-        assert_eq!(self.l1.line, self.l2.line, "levels share the line granularity");
-        let _ = self.l2.sets();
-        let _ = self.l1.sets();
-        assert!(self.rho_cap > 0.0 && self.rho_cap < 1.0);
-        assert!(self.link_bw_bytes_per_ns > 0.0);
-        assert!(self.fixed_cost_div >= 1.0);
+    /// Sanity-check invariants, naming the offending field in the error.
+    /// [`crate::Machine::new`] panics on violations; fallible entry points
+    /// ([`crate::Machine::try_new`], config-file loaders) surface the
+    /// message instead.
+    pub fn validate(&self) -> Result<(), String> {
+        fn check(ok: bool, what: impl FnOnce() -> String) -> Result<(), String> {
+            if ok {
+                Ok(())
+            } else {
+                Err(what())
+            }
+        }
+        check(
+            (1..=MAX_PROCS).contains(&self.n_procs),
+            || format!("n_procs: {} outside 1..={MAX_PROCS}", self.n_procs),
+        )?;
+        check(self.procs_per_node >= 1, || {
+            format!("procs_per_node: {} must be >= 1", self.procs_per_node)
+        })?;
+        check(self.nodes_per_router >= 1, || {
+            format!("nodes_per_router: {} must be >= 1", self.nodes_per_router)
+        })?;
+        check(self.page_size >= self.l2.line, || {
+            format!(
+                "page_size: {} smaller than the l2.line of {}",
+                self.page_size, self.l2.line
+            )
+        })?;
+        check(self.page_size.is_power_of_two(), || {
+            format!("page_size: {} must be a power of two", self.page_size)
+        })?;
+        check(self.l2.line.is_power_of_two(), || {
+            format!("l2.line: {} must be a power of two", self.l2.line)
+        })?;
+        check(self.l1.line == self.l2.line, || {
+            format!(
+                "l1.line: {} must equal l2.line ({}): levels share the line granularity",
+                self.l1.line, self.l2.line
+            )
+        })?;
+        for (name, geom) in [("l1", &self.l1), ("l2", &self.l2)] {
+            let lines = geom.size / geom.line;
+            check(lines > 0 && lines.is_multiple_of(geom.assoc), || {
+                format!("{name}: capacity must be a whole number of ways")
+            })?;
+            check((lines / geom.assoc).is_power_of_two(), || {
+                format!("{name}: set count must be a power of two")
+            })?;
+        }
+        check(self.rho_cap > 0.0 && self.rho_cap < 1.0, || {
+            format!("rho_cap: {} outside (0, 1)", self.rho_cap)
+        })?;
+        check(self.link_bw_bytes_per_ns > 0.0, || {
+            format!("link_bw_bytes_per_ns: {} must be positive", self.link_bw_bytes_per_ns)
+        })?;
+        check(self.fixed_cost_div >= 1.0, || {
+            format!("fixed_cost_div: {} must be >= 1", self.fixed_cost_div)
+        })?;
+        match self.directory_mode {
+            DirectoryMode::FullMap => {}
+            DirectoryMode::LimitedPointer(i) => {
+                check((1..=64).contains(&i), || {
+                    format!("directory_mode: limited-pointer width {i} outside 1..=64")
+                })?;
+            }
+            DirectoryMode::CoarseVector(k) => {
+                check((1..=self.n_procs).contains(&k), || {
+                    format!(
+                        "directory_mode: coarse-vector group size {k} outside 1..={}",
+                        self.n_procs
+                    )
+                })?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -308,7 +426,7 @@ mod tests {
         assert_eq!(c.l2.sets(), 16384);
         assert_eq!(c.l2.lines(), 32768);
         assert_eq!(c.line_shift(), 7);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
@@ -329,7 +447,7 @@ mod tests {
         assert_eq!(s.tlb_entries, full.tlb_entries); // reach scales via page size
         assert!((s.shmem_overhead_ns - full.shmem_overhead_ns / 16.0).abs() < 1e-9);
         assert_eq!(s.l2.line, full.l2.line);
-        s.validate();
+        s.validate().unwrap();
     }
 
     #[test]
@@ -341,9 +459,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn too_many_procs_rejected() {
-        MachineConfig::origin2000(65);
+    fn too_many_procs_rejected_with_field_name() {
+        // p = 65 used to be the hard u64-bitmask wall; now any mode scales
+        // past it and only the MAX_PROCS cap rejects, naming the field.
+        MachineConfig::origin2000(65).validate().unwrap();
+        let err = MachineConfig::origin2000(MAX_PROCS + 1).validate().unwrap_err();
+        assert!(err.contains("n_procs"), "error must name the field: {err}");
+    }
+
+    #[test]
+    fn validate_names_offending_field() {
+        let mut c = MachineConfig::origin2000(8);
+        c.rho_cap = 1.5;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("rho_cap"), "error must name the field: {err}");
+
+        let mut c = MachineConfig::origin2000(8);
+        c.page_size = 100;
+        assert!(c.validate().unwrap_err().contains("page_size"));
+
+        let mut c = MachineConfig::origin2000(8);
+        c.directory_mode = DirectoryMode::LimitedPointer(0);
+        assert!(c.validate().unwrap_err().contains("limited-pointer"));
+
+        let mut c = MachineConfig::origin2000(8);
+        c.directory_mode = DirectoryMode::CoarseVector(9);
+        assert!(c.validate().unwrap_err().contains("coarse-vector"));
+        c.directory_mode = DirectoryMode::CoarseVector(8);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn large_machines_validate_in_all_modes() {
+        for mode in [
+            DirectoryMode::FullMap,
+            DirectoryMode::LimitedPointer(8),
+            DirectoryMode::CoarseVector(4),
+        ] {
+            let c = MachineConfig::origin2000(256).with_directory_mode(mode);
+            c.validate().unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert_eq!(c.n_nodes(), 128);
+            assert_eq!(c.n_routers(), 64);
+        }
     }
 
     #[test]

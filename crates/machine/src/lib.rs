@@ -6,8 +6,10 @@
 //! on Cache-coherent DSM Multiprocessors* (SC 1999).
 //!
 //! The simulator models, per processor, a set-associative write-back cache
-//! ([`cache::Cache`]) and a TLB ([`tlb::Tlb`]); globally, a full-map
-//! directory invalidation protocol ([`directory::Directory`]) over a paged,
+//! ([`cache::Cache`]) and a TLB ([`tlb::Tlb`]); globally, a directory
+//! invalidation protocol ([`directory::Directory`], full-map by default,
+//! with limited-pointer and coarse-vector representations selectable via
+//! [`config::DirectoryMode`]) over a paged,
 //! placement-aware address space ([`memory::AddressSpace`]), a hypercube
 //! interconnect ([`topology::Topology`]) and a phase-level controller
 //! contention model ([`contention::PhaseTraffic`]). Programs running on the
@@ -42,7 +44,8 @@ pub mod stats;
 pub mod tlb;
 pub mod topology;
 
-pub use config::{CacheGeom, MachineConfig};
+pub use config::{CacheGeom, DirectoryMode, MachineConfig, MAX_PROCS};
+pub use directory::{DirState, Directory};
 pub use machine::{Machine, Pattern};
 pub use memory::{ArrayId, Placement};
 pub use race::{MsgToken, RaceDetector, RaceKind, RaceReport};

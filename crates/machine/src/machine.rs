@@ -118,8 +118,16 @@ pub struct Machine {
 const EQUIV_SAMPLE_PERIOD: u64 = 256;
 
 impl Machine {
+    /// Build a machine, panicking on an invalid configuration (the message
+    /// names the offending field). Fallible callers — config-file loaders,
+    /// CLI replay — use [`Machine::try_new`] instead.
     pub fn new(cfg: MachineConfig) -> Self {
-        cfg.validate();
+        Machine::try_new(cfg).unwrap_or_else(|e| panic!("invalid MachineConfig: {e}"))
+    }
+
+    /// Build a machine, returning the validation error instead of panicking.
+    pub fn try_new(cfg: MachineConfig) -> Result<Self, String> {
+        cfg.validate()?;
         let topo = Topology::new(&cfg);
         let mem = AddressSpace::new(&cfg);
         let sets = cfg.l2.sets();
@@ -148,12 +156,12 @@ impl Machine {
         let node_of = (0..cfg.n_procs).map(|pe| topo.node_of(pe)).collect();
         let n_nodes = cfg.n_nodes();
         let n_procs = cfg.n_procs;
-        Machine {
+        Ok(Machine {
             line_shift: cfg.line_shift(),
             page_shift: cfg.page_shift(),
             traffic: PhaseTraffic::new(n_procs, n_nodes),
             phase_start: vec![0.0; n_procs],
-            dir: Directory::new(0),
+            dir: Directory::new(cfg.directory_mode, n_procs, 0),
             sections: vec![("(untagged)", vec![TimeBreakdown::default(); n_procs])],
             cur_section: 0,
             section_audit: false,
@@ -173,7 +181,7 @@ impl Machine {
             node_of,
             #[cfg(debug_assertions)]
             equiv_tick: 0,
-        }
+        })
     }
 
     /// The machine's configuration.
@@ -259,13 +267,11 @@ impl Machine {
         let d_first = self.mem.addr_of(dst, dst_off) >> self.line_shift;
         let d_last = self.mem.addr_of(dst, dst_off + len - 1) >> self.line_shift;
         for line in d_first..=d_last {
-            let mut others = self.dir.sharers(line) & !(1u64 << pe);
-            while others != 0 {
-                let other = others.trailing_zeros() as usize;
-                others &= others - 1;
-                self.pes[other].invalidate_all(line);
-                self.dir.remove_sharer(line, other);
-            }
+            let (dir, pes) = (&self.dir, &mut self.pes);
+            dir.for_each_target(line, Some(pe), |other| {
+                pes[other].invalidate_all(line);
+            });
+            self.dir.retain_only(line, pe);
         }
         #[cfg(debug_assertions)]
         for q in 0..self.cfg.n_procs {
@@ -1045,15 +1051,14 @@ impl Machine {
                 self.charge(pe, self.cfg.l2_hit_ns, Bucket::Lmem);
             }
             Probe::UpgradeNeeded => {
-                // Write hit on a Shared line: invalidate the other sharers.
-                let others = self.dir.other_sharers(line, pe);
-                let n_inv = others.count_ones() as u64;
-                let mut o = others;
-                while o != 0 {
-                    let other = o.trailing_zeros() as usize;
-                    o &= o - 1;
-                    self.pes[other].invalidate_all(line);
-                }
+                // Write hit on a Shared line: invalidate the other sharers
+                // (every *potential* sharer, under an imprecise directory
+                // mode — the over-targeted invalidations are charged below
+                // exactly like real ones).
+                let (dir, pes) = (&self.dir, &mut self.pes);
+                let n_inv = dir.for_each_target(line, Some(pe), |other| {
+                    pes[other].invalidate_all(line);
+                });
                 self.dir.set_exclusive(line, pe);
                 self.pes[pe].cache.upgrade(line);
                 self.pes[pe].l1.upgrade(line);
@@ -1100,14 +1105,10 @@ impl Machine {
                     }
                     DirState::Shared => {
                         if write {
-                            let others = self.dir.other_sharers(line, pe);
-                            let n_inv = others.count_ones() as u64;
-                            let mut o = others;
-                            while o != 0 {
-                                let other = o.trailing_zeros() as usize;
-                                o &= o - 1;
-                                self.pes[other].invalidate_all(line);
-                            }
+                            let (dir, pes) = (&self.dir, &mut self.pes);
+                            let n_inv = dir.for_each_target(line, Some(pe), |other| {
+                                pes[other].invalidate_all(line);
+                            });
                             self.pes[pe].ev.invalidations += n_inv;
                             occ += self.cfg.ctrl_occ_ns * n_inv as f64;
                             txns += n_inv;
@@ -1279,13 +1280,10 @@ impl Machine {
         let dst_home = self.mem.home_of_line(d_first);
         let mut inv_txns: u64 = 0;
         for line in d_first..=d_last {
-            let mut sharers = self.dir.sharers(line);
-            while sharers != 0 {
-                let other = sharers.trailing_zeros() as usize;
-                sharers &= sharers - 1;
-                self.pes[other].invalidate_all(line);
-                inv_txns += 1;
-            }
+            let (dir, pes) = (&self.dir, &mut self.pes);
+            inv_txns += dir.for_each_target(line, None, |other| {
+                pes[other].invalidate_all(line);
+            });
             if install_dst {
                 self.dir.set_exclusive(line, pe);
                 if let Some(v) = self.pes[pe].cache.install(line, LineState::Modified) {
@@ -1464,19 +1462,22 @@ impl Machine {
                 match self.pes[pe].cache.state(line) {
                     Some(LineState::Modified) | Some(LineState::Exclusive) => {
                         modified_in.push(pe);
-                        if self.dir.state(line) != DirState::Exclusive(pe as u8) {
+                        if self.dir.state(line) != DirState::Exclusive(pe as u16) {
                             errs.push(format!(
                                 "line {line}: cached exclusively by pe {pe} but directory says {:?}",
                                 self.dir.state(line)
                             ));
                         }
                     }
-                    Some(LineState::Shared)
-                        if self.dir.sharers(line) & (1 << pe) == 0 => {
-                            errs.push(format!(
-                                "line {line}: cached Shared by pe {pe} but absent from sharer set"
-                            ));
-                        }
+                    // `is_sharer` is the conservative (may-hold) membership
+                    // test, so this invariant holds in every directory mode:
+                    // a real copy outside the set the directory would
+                    // invalidate is a protocol bug, full-map or not.
+                    Some(LineState::Shared) if !self.dir.is_sharer(line, pe) => {
+                        errs.push(format!(
+                            "line {line}: cached Shared by pe {pe} but absent from sharer set"
+                        ));
+                    }
                     _ => {}
                 }
             }
@@ -1566,15 +1567,12 @@ impl Machine {
                 ));
             }
         }
-        if self.cfg.n_procs < 64 {
-            for line in 0..self.mem.total_lines() {
-                let ghost = self.dir.sharers(line) >> self.cfg.n_procs;
-                if ghost != 0 {
-                    errs.push(format!(
-                        "line {line}: directory sharer bits beyond processor count ({ghost:#x} << {})",
-                        self.cfg.n_procs
-                    ));
-                }
+        // Representation-level directory invariants (ghost bits / pointers
+        // beyond the processor count, slot ordering, owner membership) —
+        // checked per mode by the directory itself.
+        for line in 0..self.mem.total_lines() {
+            if let Some(err) = self.dir.audit_entry(line) {
+                errs.push(err);
             }
         }
         errs

@@ -52,6 +52,15 @@ impl Topology {
 
     /// Router hops between two nodes: 0 if they share a router, otherwise
     /// the Hamming distance between router ids (hypercube routing).
+    ///
+    /// This stays exact for *partial* hypercubes — machines whose router
+    /// count R is not a power of two, so ids occupy the contiguous range
+    /// [0, R) rather than a full cube. A shortest route of exactly
+    /// Hamming-distance length always exists through present routers:
+    /// first clear the bits of `a \ b` (each step only lowers the id, so
+    /// every intermediate is < a < R), then set the bits of `b \ a` (every
+    /// intermediate is a submask of b plus `a ∧ b`, hence <= b < R). The
+    /// partial-hypercube tests below check this against BFS.
     #[inline]
     pub fn hops(&self, node_a: usize, node_b: usize) -> u32 {
         let ra = self.router_of(node_a);
@@ -152,5 +161,69 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Shortest-path hop count over a partial hypercube with `routers`
+    /// present routers (ids [0, routers)), where an edge joins two present
+    /// routers differing in exactly one bit.
+    fn bfs_hops(routers: usize, from: usize, to: usize) -> u32 {
+        let bits = usize::BITS - (routers - 1).leading_zeros();
+        let mut dist = vec![u32::MAX; routers];
+        let mut queue = std::collections::VecDeque::from([from]);
+        dist[from] = 0;
+        while let Some(r) = queue.pop_front() {
+            for bit in 0..bits {
+                let next = r ^ (1 << bit);
+                if next < routers && dist[next] == u32::MAX {
+                    dist[next] = dist[r] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        dist[to]
+    }
+
+    /// The Hamming-distance claim behind [`Topology::hops`] must hold on
+    /// partial hypercubes too: with a contiguous id range [0, R) for
+    /// non-power-of-two R, a shortest route of exactly Hamming-distance
+    /// length exists through present routers. Checked exhaustively against
+    /// BFS for every router pair at several ragged sizes.
+    #[test]
+    fn partial_hypercube_hamming_distance_is_reachable() {
+        for routers in [3usize, 5, 6, 7, 11, 12, 13] {
+            for a in 0..routers {
+                for b in 0..routers {
+                    let hamming = (a ^ b).count_ones();
+                    assert_eq!(
+                        bfs_hops(routers, a, b),
+                        hamming,
+                        "routers={routers} {a}->{b}: claimed shortest route absent"
+                    );
+                }
+            }
+        }
+    }
+
+    /// End to end on a non-power-of-two machine: p = 12 gives 6 nodes on
+    /// 3 routers (a ragged half of a 2-cube), and node-level hop counts
+    /// must agree with BFS over the present routers.
+    #[test]
+    fn partial_hypercube_machine_hops_match_bfs() {
+        let cfg = MachineConfig::origin2000(12);
+        cfg.validate().unwrap();
+        let t = Topology::new(&cfg);
+        assert_eq!(t.n_nodes(), 6);
+        let routers = 3;
+        for a in 0..t.n_nodes() {
+            for b in 0..t.n_nodes() {
+                let (ra, rb) = (t.router_of(a), t.router_of(b));
+                assert!(ra < routers && rb < routers);
+                assert_eq!(t.hops(a, b), bfs_hops(routers, ra, rb), "nodes {a}->{b}");
+            }
+        }
+        // Router 1 and 2 differ in two bits (01 vs 10): the 2-hop route
+        // must pass through a present router — 0 (00) works, 3 (11) is
+        // absent — and `hops` must charge exactly those 2 hops.
+        assert_eq!(t.hops(2, 4), 2);
     }
 }

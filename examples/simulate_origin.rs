@@ -25,13 +25,21 @@ fn main() {
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
     let p: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
 
+    // Validate user-supplied parameters up front: a bad p or n is a usage
+    // error with the offending field named, not a panic mid-simulation.
+    let cfg = ExpConfig::new(alg, n, p);
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+
     println!("simulating {} on {p} processors, n = {n} Gauss keys (machine scale 1/16)", alg.name());
 
     let seq = run_sequential_baseline(n, 8, Dist::Gauss, 271828, 16, 1);
     assert!(seq.verified);
     println!("sequential baseline: {:>10.2} ms simulated", seq.time_ns / 1e6);
 
-    let res = run_experiment(&ExpConfig::new(alg, n, p));
+    let res = run_experiment(&cfg);
     assert!(res.verified, "output must be a sorted permutation of the input");
     println!("parallel time:       {:>10.2} ms simulated", res.parallel_ns / 1e6);
     println!("speedup:             {:>10.1}x", seq.time_ns / res.parallel_ns);

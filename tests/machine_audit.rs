@@ -7,19 +7,29 @@
 
 use ccsort::algos::dist::{generate, Dist};
 use ccsort::algos::{radix, KEY_BITS};
-use ccsort::machine::{Machine, MachineConfig, Placement};
+use ccsort::machine::{DirectoryMode, Machine, MachineConfig, Placement};
 
 #[test]
 fn audit_is_clean_after_a_real_sort() {
-    let n = 1 << 11;
-    let p = 4;
-    let mut m = Machine::new(MachineConfig::origin2000(p).scaled_down(256));
-    let a = m.alloc(n, Placement::Partitioned { parts: p }, "k0");
-    let b = m.alloc(n, Placement::Partitioned { parts: p }, "k1");
-    let input = generate(Dist::Stagger, n, p, 8, 0);
-    m.raw_mut(a).copy_from_slice(&input);
-    radix::ccsas::sort(&mut m, [a, b], n, 8, KEY_BITS);
-    assert_eq!(m.audit(), Vec::<String>::new());
+    // Every sharer-set representation must leave a clean machine: the
+    // audit's conservative-superset invariants hold for the imprecise
+    // modes (overflowed limited-pointer, coarse groups) too.
+    for mode in [
+        DirectoryMode::FullMap,
+        DirectoryMode::LimitedPointer(2),
+        DirectoryMode::CoarseVector(2),
+    ] {
+        let n = 1 << 11;
+        let p = 4;
+        let cfg = MachineConfig::origin2000(p).scaled_down(256).with_directory_mode(mode);
+        let mut m = Machine::new(cfg);
+        let a = m.alloc(n, Placement::Partitioned { parts: p }, "k0");
+        let b = m.alloc(n, Placement::Partitioned { parts: p }, "k1");
+        let input = generate(Dist::Stagger, n, p, 8, 0);
+        m.raw_mut(a).copy_from_slice(&input);
+        radix::ccsas::sort(&mut m, [a, b], n, 8, KEY_BITS);
+        assert_eq!(m.audit(), Vec::<String>::new(), "dir={mode}");
+    }
 }
 
 #[test]

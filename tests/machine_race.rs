@@ -103,7 +103,15 @@ fn detector_fires_on_injected_missing_barrier_for_every_algorithm() {
 fn quick_matrix_is_race_free() {
     for dist in [Dist::Gauss, Dist::Stagger, Dist::Remote, Dist::Zero] {
         for p in [3usize, 4] {
-            let pt = Point { dist, n: 1 << 9, p, r: 6, seed: 0, scale: 256 };
+            let pt = Point {
+                dist,
+                n: 1 << 9,
+                p,
+                r: 6,
+                seed: 0,
+                scale: 256,
+                dir: ccsort::machine::DirectoryMode::FullMap,
+            };
             let errs = audit_simulated(&pt, &Algorithm::ALL);
             assert_eq!(errs, Vec::<String>::new());
         }
