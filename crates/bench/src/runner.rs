@@ -4,7 +4,12 @@
 //! the runner can fill its memo cache in parallel ([`Runner::prefetch`])
 //! with results bit-identical to sequential execution.
 
-use std::collections::{HashMap, HashSet};
+// BTree collections, not Hash: these caches are lookup-only today, but the
+// runner's whole contract is bit-identical output regardless of fill order
+// (`crates/bench/tests/determinism.rs`), and a future iteration over a hash
+// map would break that silently on another machine. Deterministic-by-type
+// costs nothing at this size (`nondeterministic_iteration` lint).
+use std::collections::{BTreeMap, BTreeSet};
 
 use ccsort_algos::{run_experiment, run_sequential_baseline, Algorithm, Dist, ExpConfig, ExpResult};
 use rayon::prelude::*;
@@ -140,15 +145,15 @@ fn run_cell(opts: &RunnerOpts, key: ExpKey) -> ExpResult {
 /// Memoising experiment runner.
 pub struct Runner {
     pub opts: RunnerOpts,
-    cache: HashMap<ExpKey, ExpResult>,
-    seq_cache: HashMap<(usize, u32, Dist), f64>,
+    cache: BTreeMap<ExpKey, ExpResult>,
+    seq_cache: BTreeMap<(usize, u32, Dist), f64>,
     /// Every point emitted so far (for the JSON dump).
     pub points: Vec<Point>,
 }
 
 impl Runner {
     pub fn new(opts: RunnerOpts) -> Self {
-        Runner { opts, cache: HashMap::new(), seq_cache: HashMap::new(), points: Vec::new() }
+        Runner { opts, cache: BTreeMap::new(), seq_cache: BTreeMap::new(), points: Vec::new() }
     }
 
     /// Run (or recall) one experiment at size label `size_idx`. Panics if
@@ -166,7 +171,7 @@ impl Runner {
     /// results are zipped back in `keys` order, keeping the cache fill
     /// deterministic regardless of worker count or scheduling.
     pub fn prefetch(&mut self, keys: &[ExpKey]) {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let todo: Vec<ExpKey> = keys
             .iter()
             .copied()
@@ -186,7 +191,7 @@ impl Runner {
     /// distribution)` pairs, mirroring [`Self::prefetch`].
     pub fn prefetch_seq(&mut self, cells: &[(usize, Dist)]) {
         let r = 8;
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let todo: Vec<(usize, Dist)> = cells
             .iter()
             .copied()

@@ -1,0 +1,68 @@
+//! `cargo dylint` entry point: cargo resolves the subcommand to a binary
+//! named `cargo-dylint` on PATH and invokes it as
+//! `cargo-dylint dylint <args...>`. Direct invocation works too.
+//!
+//! Recognized arguments (all others are accepted and ignored so that
+//! upstream cargo-dylint invocations like `--all --workspace` run
+//! unmodified): `--all`, `--list`, `--github`, `--root <dir>`.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ccsort_lints::{all_lints, find_workspace_root, render, run_workspace};
+
+fn main() -> ExitCode {
+    let mut args = env::args().skip(1).peekable();
+    // Swallow the subcommand name when invoked via `cargo dylint`.
+    if args.peek().map(String::as_str) == Some("dylint") {
+        args.next();
+    }
+
+    let mut root: Option<PathBuf> = None;
+    let mut github = env::var_os("GITHUB_ACTIONS").is_some();
+    let mut list = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list" => list = true,
+            "--github" => github = true,
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("error: --root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "--all" | "--workspace" | "--" => {} // the suite always runs all lints
+            other => {
+                // Permissive: upstream cargo-dylint flags we don't model.
+                eprintln!("note: ignoring unrecognized argument `{other}`");
+            }
+        }
+    }
+
+    if list {
+        for lint in all_lints() {
+            println!("{:28} {}", lint.name(), lint.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(|| {
+        env::current_dir().ok().and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: could not locate a workspace root (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = run_workspace(&root);
+    print!("{}", render(&report, github));
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

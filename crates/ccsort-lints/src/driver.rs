@@ -1,0 +1,201 @@
+//! The suite driver: walk the workspace, run every lint, resolve allow
+//! directives, and report.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lints::{all_lints, Finding, WorkspaceCtx};
+use crate::source::SourceFile;
+
+/// Outcome of a full suite run.
+pub struct RunReport {
+    /// Findings that survived suppression, sorted by (path, line, lint).
+    pub findings: Vec<Finding>,
+    /// Files scanned (workspace-relative paths).
+    pub files_scanned: usize,
+    /// Directives that suppressed at least one finding.
+    pub used_allows: usize,
+}
+
+/// Directories under the workspace root whose `src/` trees are linted.
+/// The lint crate itself is excluded: its sources and fixtures *name* the
+/// patterns being matched.
+fn lintable_roots(workspace_root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![workspace_root.join("src")];
+    if let Ok(entries) = fs::read_dir(workspace_root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "ccsort-lints"))
+            .collect();
+        crates.sort();
+        for c in crates {
+            roots.push(c.join("src"));
+        }
+    }
+    roots.retain(|p| p.is_dir());
+    roots
+}
+
+/// Recursively collect `.rs` files, sorted for deterministic reporting.
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else { continue };
+        for e in entries.filter_map(|e| e.ok()) {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Run the whole suite over `workspace_root`.
+pub fn run_workspace(workspace_root: &Path) -> RunReport {
+    let mut files = Vec::new();
+    for root in lintable_roots(workspace_root) {
+        for path in rs_files(&root) {
+            let Ok(src) = fs::read_to_string(&path) else { continue };
+            let rel = path
+                .strip_prefix(workspace_root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(SourceFile::parse(&rel, &src));
+        }
+    }
+    run_files(files)
+}
+
+/// Run the suite over already-parsed files (the UI harness enters here).
+pub fn run_files(files: Vec<SourceFile>) -> RunReport {
+    let ctx = WorkspaceCtx::build(&files);
+    let lints = all_lints();
+    let known: Vec<&str> = lints.iter().map(|l| l.name()).collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut used_allows = 0usize;
+
+    for file in &files {
+        // Raw findings for this file.
+        let mut raw: Vec<Finding> = Vec::new();
+        for lint in &lints {
+            if lint.applies_to(&file.rel_path) {
+                raw.extend(lint.check(file, &ctx));
+            }
+        }
+
+        // Resolve directives. A directive suppresses findings of its lint
+        // (a) file-wide for `allow-file`, (b) on its own or the next line,
+        // (c) anywhere inside the function whose body contains it.
+        let mut directive_used = vec![false; file.directives.len()];
+        raw.retain(|f| {
+            for (di, d) in file.directives.iter().enumerate() {
+                if d.lint != f.lint {
+                    continue;
+                }
+                let in_scope = d.file_level
+                    || f.line == d.line
+                    || f.line == d.line + 1
+                    || file.enclosing_fn(f.line).is_some_and(|func| {
+                        (func.start_line..=func.end_line).contains(&d.line)
+                            && (func.start_line..=func.end_line).contains(&f.line)
+                    });
+                if in_scope {
+                    directive_used[di] = true;
+                    return false;
+                }
+            }
+            true
+        });
+        findings.append(&mut raw);
+
+        // Directive hygiene: malformed, unknown-lint, unjustified, or
+        // unused directives are findings themselves — an allow must carry
+        // its reason and must be earning its keep.
+        for (di, d) in file.directives.iter().enumerate() {
+            let problem = if d.lint.is_empty() {
+                Some("malformed `ccsort-lints:` directive (expected `allow(<lint>) -- <why>`)".to_string())
+            } else if !known.contains(&d.lint.as_str()) {
+                Some(format!("allow directive names unknown lint `{}`", d.lint))
+            } else if d.justification.len() < 8 {
+                Some(format!(
+                    "allow({}) has no justification; every suppression must say why it is sound",
+                    d.lint
+                ))
+            } else if !directive_used[di] {
+                Some(format!("allow({}) suppresses nothing; remove the stale directive", d.lint))
+            } else {
+                None
+            };
+            if let Some(message) = problem {
+                findings.push(Finding {
+                    lint: "lint_directive",
+                    rel_path: file.rel_path.clone(),
+                    line: d.line,
+                    col: 1,
+                    message,
+                    note: "directive grammar: `// ccsort-lints: allow(<lint>) -- <justification>` \
+                           or allow-file(<lint>) for a whole file (DESIGN.md §13)",
+                });
+            } else {
+                used_allows += 1;
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.rel_path.as_str(), a.line, a.lint).cmp(&(b.rel_path.as_str(), b.line, b.lint))
+    });
+    RunReport { findings, files_scanned: files.len(), used_allows }
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(d) = cur {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        cur = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Render findings in rustc style; with `github`, also emit workflow
+/// command annotations that GitHub surfaces inline on the PR diff.
+pub fn render(report: &RunReport, github: bool) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "error: [{}] {}\n  --> {}:{}:{}\n   = note: {}\n\n",
+            f.lint, f.message, f.rel_path, f.line, f.col, f.note
+        ));
+        if github {
+            // One line per finding; GitHub renders these as PR annotations.
+            out.push_str(&format!(
+                "::error file={},line={},title=ccsort-lints({})::{}\n",
+                f.rel_path, f.line, f.lint, f.message
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "ccsort-lints: {} finding(s) in {} file(s) scanned ({} justified allow(s))\n",
+        report.findings.len(),
+        report.files_scanned,
+        report.used_allows
+    ));
+    out
+}

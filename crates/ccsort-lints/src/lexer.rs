@@ -1,0 +1,343 @@
+//! A minimal Rust lexer: just enough to token-match lint patterns without
+//! ever confusing string/comment contents for code.
+//!
+//! The lints in this crate work on token sequences, so the lexer's one hard
+//! job is classification: `"copy_untimed exit"` inside a string literal and
+//! `// m.barrier()` inside a comment must never look like calls. Everything
+//! else (exact numeric values, operator jamming) is irrelevant to the lint
+//! patterns and kept deliberately simple: operators are emitted as
+//! single-character punctuation tokens and matched as sequences.
+
+/// One lexed token with its source position (1-based line, column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the scanner distinguishes keywords by text).
+    Ident(String),
+    /// Numeric literal, verbatim (`0x1F`, `1_000`, `2.5e-3`, `0.0_f64`).
+    Num(String),
+    /// String/char/byte literal of any flavour; contents dropped.
+    Lit,
+    /// Lifetime (`'a`, `'static`); distinguished from char literals.
+    Lifetime,
+    /// Single punctuation character (`{`, `.`, `:`, `<`, ...).
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(t) if t == s)
+    }
+}
+
+/// A comment with its position; `text` excludes the delimiters. Collected
+/// separately from the token stream so directive comments
+/// (`// ccsort-lints: allow(...)`) can be scanned without polluting
+/// token-sequence matching.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lex `src` into (tokens, comments). Never fails: unrecognized bytes are
+/// skipped (the workspace this runs on must already compile, so anything
+/// surprising is at worst a missed match, not a crash).
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    // Advance over `n` bytes, updating line/col.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < b.len() {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Line comment (also doc comments `///`, `//!`).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                bump!(1);
+            }
+            comments.push(Comment {
+                text: src[start..i].trim_start_matches('/').trim_start_matches('!').to_string(),
+                line: tline,
+            });
+            continue;
+        }
+
+        // Block comment, nested.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            bump!(2);
+            let mut depth = 1;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    bump!(2);
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            comments.push(Comment { text: src[start..i].to_string(), line: tline });
+            continue;
+        }
+
+        // Raw strings: r"..." / r#"..."# (and br / cr prefixes).
+        let raw_prefix_len = raw_string_prefix(&src[i..]);
+        if raw_prefix_len > 0 {
+            bump!(raw_prefix_len); // up to and including the opening quote
+            // Count hashes in the prefix we just consumed.
+            let hashes = src[i - raw_prefix_len..i].bytes().filter(|&x| x == b'#').count();
+            let closer: String =
+                std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+            match src[i..].find(&closer) {
+                Some(off) => bump!(off + closer.len()),
+                None => bump!(src.len() - i), // unterminated; swallow the rest
+            }
+            tokens.push(Token { kind: TokenKind::Lit, line: tline, col: tcol });
+            continue;
+        }
+
+        // Plain strings: "..." (and b"/c" prefixed; the prefix lexes as an
+        // ident first, which is harmless for our patterns).
+        if c == b'"' {
+            bump!(1);
+            while i < b.len() && b[i] != b'"' {
+                if b[i] == b'\\' {
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            bump!(1); // closing quote
+            tokens.push(Token { kind: TokenKind::Lit, line: tline, col: tcol });
+            continue;
+        }
+
+        // `'` — char literal or lifetime. Lifetime when followed by an
+        // ident char and the char after the ident is not `'`.
+        if c == b'\'' {
+            let rest = &b[i + 1..];
+            let is_lifetime = match rest.first() {
+                Some(&x) if x == b'_' || x.is_ascii_alphabetic() => {
+                    let mut j = 1;
+                    while j < rest.len() && (rest[j] == b'_' || rest[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    rest.get(j) != Some(&b'\'')
+                }
+                _ => false,
+            };
+            if is_lifetime {
+                bump!(1);
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    bump!(1);
+                }
+                tokens.push(Token { kind: TokenKind::Lifetime, line: tline, col: tcol });
+            } else {
+                // Char literal: 'x', '\n', '\'', '\u{1F600}'.
+                bump!(1);
+                while i < b.len() && b[i] != b'\'' {
+                    if b[i] == b'\\' {
+                        bump!(2);
+                    } else {
+                        bump!(1);
+                    }
+                }
+                bump!(1);
+                tokens.push(Token { kind: TokenKind::Lit, line: tline, col: tcol });
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c == b'_' || c.is_ascii_alphabetic() {
+            let start = i;
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                bump!(1);
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(src[start..i].to_string()),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Number: digits, underscores, dots (not `..`), exponents, type
+        // suffixes, hex/oct/bin prefixes.
+        if c.is_ascii_digit() {
+            let start = i;
+            bump!(1);
+            while i < b.len() {
+                let x = b[i];
+                if x == b'_' || x.is_ascii_alphanumeric() {
+                    // Covers hex digits, `e`/`E` exponents, `f64` suffixes.
+                    bump!(1);
+                } else if x == b'.' && i + 1 < b.len() && b[i + 1] != b'.' {
+                    // A decimal point, but never consume a `..` range.
+                    // (`1.foo()` is method syntax on a literal — absent in
+                    // this codebase; mislexing it would only over-extend
+                    // one Num token.)
+                    bump!(1);
+                } else if (x == b'+' || x == b'-') && matches!(b[i - 1], b'e' | b'E') {
+                    bump!(1); // exponent sign
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Num(src[start..i].to_string()),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Everything else: single punctuation char.
+        bump!(1);
+        tokens.push(Token { kind: TokenKind::Punct(c as char), line: tline, col: tcol });
+    }
+
+    (tokens, comments)
+}
+
+/// If `s` starts a raw string literal (`r"`, `r#`, `br#`, `cr"` ...),
+/// return the byte length of the prefix *including* the opening quote;
+/// otherwise 0.
+fn raw_string_prefix(s: &str) -> usize {
+    let b = s.as_bytes();
+    let mut j = 0;
+    if matches!(b.first(), Some(&b'b') | Some(&b'c')) {
+        j = 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return 0;
+    }
+    j += 1;
+    let mut k = j;
+    while b.get(k) == Some(&b'#') {
+        k += 1;
+    }
+    if b.get(k) == Some(&b'"') {
+        k + 1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).0.iter().filter_map(|t| t.ident().map(str::to_string)).collect()
+    }
+
+    #[test]
+    fn string_contents_are_not_code() {
+        // The classic trap: an API name inside a diagnostic string.
+        let (toks, _) = lex(r#"debug_assert_hint(q, "copy_untimed exit");"#);
+        let names = toks.iter().filter_map(|t| t.ident()).collect::<Vec<_>>();
+        assert_eq!(names, vec!["debug_assert_hint", "q"]);
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let (toks, comments) = lex("let x = 1; // m.barrier()\n/* fold(0.0) */ let y = 2;");
+        assert!(toks.iter().all(|t| !t.is_ident("barrier") && !t.is_ident("fold")));
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("m.barrier()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* outer /* inner */ still */ fn f() {}");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ x"), vec!["x"]);
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a u32) { let c = 'b'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Lit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let (toks, _) = lex(r##"let s = r#"contains "quotes" and barrier()"#; next()"##);
+        assert!(toks.iter().any(|t| t.is_ident("next")));
+        assert!(!toks.iter().any(|t| t.is_ident("barrier")));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let (toks, _) = lex("for i in 0..10 { sum += 0.5_f64; }");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "0.5_f64"]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let (toks, _) = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

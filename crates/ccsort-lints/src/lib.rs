@@ -1,0 +1,64 @@
+//! # ccsort-lints
+//!
+//! Repo-specific static lints that make the simulator's cross-cutting
+//! conventions *unwritable* instead of merely audited. The dynamic rigs —
+//! the FastTrack race detector, the differential audit oracle, the sampled
+//! `equiv_reference` replays — catch violations after they execute and
+//! only on swept inputs; these five lints reject them at review time, on
+//! every path:
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `divergent_barrier` | every PE reaches every barrier |
+//! | `untimed_outside_setup` | untimed data movement stays in setup/alloc phases |
+//! | `fastpath_without_equiv` | every fast path pairs with a sampled reference replay |
+//! | `float_reassociation` | f64 time accumulation order is explicit in machine/bench |
+//! | `nondeterministic_iteration` | no randomized-order collections in observable crates |
+//!
+//! ## Why not crates.io dylint
+//!
+//! This is a [dylint](https://github.com/trailofbits/dylint)-style suite —
+//! per-repo lints, UI fixtures, a `cargo dylint --all` entry point, allow
+//! directives with mandatory justifications — but it deliberately does not
+//! link `rustc_private`. The build environments this repo must gate in
+//! (offline containers without `rustc-dev` or registry access) cannot
+//! build `dylint_linting`, and a correctness gate that only runs where the
+//! network cooperates is not a gate. Instead the crate carries a small
+//! Rust lexer ([`lexer`]) and structural scanner ([`source`]) — ~zero
+//! dependencies, builds in seconds — and matches token/structure patterns
+//! tuned to this codebase's idiom. The trade is explicit: these are
+//! heuristic matchers, not type-aware HIR passes, so each lint documents
+//! its known blind spots and every suppression must carry a written
+//! justification that survives review.
+//!
+//! ## Running
+//!
+//! The binary is named `cargo-dylint`, so once `target/debug` (or any
+//! install dir) is on `PATH`, the standard invocation works verbatim:
+//!
+//! ```text
+//! cargo build -p ccsort-lints
+//! PATH="$(pwd)/target/debug:$PATH" cargo dylint --all
+//! ```
+//!
+//! Exit status 0 means clean; findings exit 1. `--list` names the lints.
+//! In GitHub Actions the driver auto-emits `::error` annotations.
+//!
+//! ## Suppressing
+//!
+//! ```text
+//! // ccsort-lints: allow(<lint>) -- <justification, mandatory>
+//! // ccsort-lints: allow-file(<lint>) -- <justification, mandatory>
+//! ```
+//!
+//! A directive applies to its own line, the next line, or the whole
+//! enclosing function; `allow-file` to the file. Unjustified, unknown, or
+//! *unused* directives are errors — an allow must earn its keep.
+
+pub mod driver;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+pub use driver::{find_workspace_root, render, run_files, run_workspace, RunReport};
+pub use lints::{all_lints, Finding};

@@ -1,0 +1,143 @@
+//! `divergent_barrier`: a barrier (or barrier-equivalent collective) that
+//! is only reachable under a condition derived from a PE identity.
+//!
+//! Every PE must reach every barrier. A call guarded by `if me == 0` (or
+//! any predicate mentioning a PE id) deadlocks the real threaded runtime
+//! and corrupts the simulator's synchronization cost accounting. This is
+//! the static companion of the race detector's `inject_missing_barrier`
+//! fault injection: the dynamic detector proves a *missed* barrier fires a
+//! report, this lint makes the divergence unwritable in the first place.
+
+use crate::lints::{is_production_src, Finding, Lint, WorkspaceCtx};
+use crate::source::SourceFile;
+use crate::lexer::TokenKind;
+
+/// Synchronization calls every PE must reach.
+const BARRIER_CALLS: &[&str] = &["barrier", "subset_barrier", "barrier_subset", "publish_done"];
+
+/// Identifiers that denote a PE identity in this codebase's idiom.
+const PE_IDENTS: &[&str] =
+    &["me", "pe", "rank", "my_pe", "my_rank", "pe_id", "rank_id", "tid", "leader"];
+
+pub struct DivergentBarrier;
+
+impl Lint for DivergentBarrier {
+    fn name(&self) -> &'static str {
+        "divergent_barrier"
+    }
+
+    fn description(&self) -> &'static str {
+        "barrier/subset_barrier/publish_done reachable only under a PE-id-derived condition"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        is_production_src(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &WorkspaceCtx) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let toks = &file.tokens;
+
+        // Stack of open conditional blocks: (pe_cond, is_open_brace_depth).
+        // Entries are pushed when an `if`/`while`/`match` condition ends at
+        // its `{`, popped at the matching `}`. `else` blocks inherit the
+        // popped frame's pe-ness.
+        struct Frame {
+            pe_cond: bool,
+        }
+        let mut cond_stack: Vec<Option<Frame>> = Vec::new(); // None = plain `{`
+        let mut pending_else_pe: Option<bool> = None;
+
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            match &t.kind {
+                TokenKind::Ident(kw) if kw == "if" || kw == "while" || kw == "match" => {
+                    // Collect condition/scrutinee tokens up to the body `{`
+                    // (at paren/bracket depth 0). Closures with braced
+                    // bodies inside conditions would cut this short — rare,
+                    // and the failure mode is a missed match, not a false
+                    // positive.
+                    let mut depth = 0i32;
+                    let mut j = i + 1;
+                    let mut pe_cond = pending_else_pe.take().unwrap_or(false);
+                    while j < toks.len() {
+                        match &toks[j].kind {
+                            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                            TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                            TokenKind::Punct('{') if depth <= 0 => break,
+                            TokenKind::Punct(';') if depth <= 0 => break, // `while let ... ;`? bail
+                            TokenKind::Ident(id) if PE_IDENTS.contains(&id.as_str()) => {
+                                pe_cond = true;
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if toks.get(j).is_some_and(|t| t.is_punct('{')) {
+                        cond_stack.push(Some(Frame { pe_cond }));
+                        i = j + 1;
+                        continue;
+                    }
+                    i = j + 1;
+                }
+                TokenKind::Punct('{') => {
+                    // `else {` inherits; everything else is neutral.
+                    let inherited = pending_else_pe.take();
+                    cond_stack.push(inherited.map(|pe_cond| Frame { pe_cond }));
+                    i += 1;
+                }
+                TokenKind::Punct('}') => {
+                    let popped = cond_stack.pop().flatten();
+                    // An `else` right after a conditional block keeps the
+                    // branch's pe-ness alive for the next block or `if`.
+                    if toks.get(i + 1).is_some_and(|t| t.is_ident("else")) {
+                        pending_else_pe = Some(popped.map(|f| f.pe_cond).unwrap_or(false));
+                        i += 2; // skip `}` and `else`
+                        continue;
+                    }
+                    i += 1;
+                }
+                TokenKind::Ident(name)
+                    if BARRIER_CALLS.contains(&name.as_str()) && file.is_call(i) =>
+                {
+                    let under_pe_cond =
+                        cond_stack.iter().flatten().any(|f| f.pe_cond);
+                    if under_pe_cond && !file.in_test_code(t.line) {
+                        // The barrier *implementations* layer on each other
+                        // (e.g. `barrier` → detector `barrier`); conditions
+                        // inside them are cost-model internals, not SPMD
+                        // control flow.
+                        let impl_layer = file
+                            .enclosing_fn(t.line)
+                            .is_some_and(|f| {
+                                f.name.contains("barrier") || f.name == "publish_done"
+                            });
+                        if !impl_layer {
+                            findings.push(Finding {
+                                lint: self.name(),
+                                rel_path: file.rel_path.clone(),
+                                line: t.line,
+                                col: t.col,
+                                message: format!(
+                                    "`{name}()` is only reachable under a condition derived \
+                                     from a PE id; every PE must reach every barrier"
+                                ),
+                                note: "a PE-dependent barrier deadlocks the threaded runtime and \
+                                       corrupts simulated SYNC accounting (DESIGN.md §13); \
+                                       restructure so the collective is unconditional, or hoist \
+                                       the PE-dependent work out of the guarded block",
+                            });
+                        }
+                    }
+                    i += 1;
+                }
+                _ => {
+                    pending_else_pe = None;
+                    i += 1;
+                }
+            }
+        }
+        findings
+    }
+}

@@ -1,0 +1,86 @@
+//! `fastpath_without_equiv`: use of a fast-path internal in a function
+//! that carries no sampled `equiv_reference*` replay.
+//!
+//! PRs 3–4 earned the simulator's speed by pairing every fast path with
+//! the frozen per-element reference walk: a debug-build sampled replay
+//! (`equiv_reference` / `equiv_reference_batch`) re-executes a slice of
+//! the access stream on a clone and asserts bit-identical state. That
+//! pairing is the entire licence for the fast code to exist. A future
+//! entry point that reaches `probe_fast_ext`/`batch_walk`/... without a
+//! replay quietly re-opens the gap between the fast and reference cost
+//! models.
+
+use crate::lints::{is_production_src, Finding, Lint, WorkspaceCtx};
+use crate::source::SourceFile;
+
+/// The fast-path internals whose use demands an equivalence replay.
+const TRIGGERS: &[&str] =
+    &["probe_fast_ext", "probe_fast", "install_fast", "sweep_hits", "sweep_l2_refill", "batch_walk"];
+
+pub struct FastpathWithoutEquiv;
+
+impl Lint for FastpathWithoutEquiv {
+    fn name(&self) -> &'static str {
+        "fastpath_without_equiv"
+    }
+
+    fn description(&self) -> &'static str {
+        "fast-path internal used in a function without a sampled equiv_reference* replay"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        is_production_src(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &WorkspaceCtx) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for (i, t) in file.tokens.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            if !TRIGGERS.contains(&name) || !file.is_call(i) {
+                continue;
+            }
+            if file.in_test_code(t.line) {
+                continue;
+            }
+            let Some(enclosing) = file.enclosing_fn(t.line) else { continue };
+            // Below the equivalence boundary: the internals may compose
+            // each other (`batch_walk` calls `probe_fast_ext`); the replay
+            // lives at the boundary function.
+            if TRIGGERS.contains(&enclosing.name.as_str())
+                || enclosing.name.starts_with("equiv_reference")
+            {
+                continue;
+            }
+            // The boundary function itself carries a replay.
+            let body = &file.tokens[enclosing.body_start..=enclosing.body_end];
+            let has_replay = body
+                .iter()
+                .any(|t| t.ident().is_some_and(|s| s.starts_with("equiv_reference")));
+            if has_replay {
+                continue;
+            }
+            // Calling a function that *contains* the replay (e.g.
+            // `batch_walk`) is safe: the discipline travels with the
+            // callee.
+            if ctx.equiv_checked_fns.iter().any(|f| f == name) {
+                continue;
+            }
+            findings.push(Finding {
+                lint: self.name(),
+                rel_path: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "fast-path internal `{name}()` used in `{}` without a sampled \
+                     `equiv_reference*` replay in scope",
+                    enclosing.name
+                ),
+                note: "every fast path must be bit-exact against the frozen reference walk; \
+                       add a debug-sampled equiv_reference/equiv_reference_batch replay to \
+                       this function, or route through an entry point that has one \
+                       (DESIGN.md §10, §13)",
+            });
+        }
+        findings
+    }
+}

@@ -1,0 +1,96 @@
+//! The lint registry: five repo-specific lints over [`SourceFile`]s.
+//!
+//! Each lint guards one cross-cutting convention the simulator's
+//! bit-exactness or synchronization story depends on. They are heuristic
+//! token/structure matchers, tuned to this codebase's idiom — precise
+//! enough to gate CI, suppressible per-site with a mandatory written
+//! justification (see [`crate::source::DIRECTIVE_MARKER`]).
+
+use crate::source::SourceFile;
+
+mod divergent_barrier;
+mod fastpath_without_equiv;
+mod float_reassociation;
+mod nondeterministic_iteration;
+mod untimed_outside_setup;
+
+pub use divergent_barrier::DivergentBarrier;
+pub use fastpath_without_equiv::FastpathWithoutEquiv;
+pub use float_reassociation::FloatReassociation;
+pub use nondeterministic_iteration::NondeterministicIteration;
+pub use untimed_outside_setup::UntimedOutsideSetup;
+
+/// One diagnostic emitted by a lint.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub lint: &'static str,
+    pub rel_path: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    /// The invariant being guarded, shown as a `note:`.
+    pub note: &'static str,
+}
+
+/// Workspace-wide facts computed in a pre-pass before any lint runs.
+#[derive(Debug, Default)]
+pub struct WorkspaceCtx {
+    /// Names of non-test functions that contain a sampled
+    /// `equiv_reference*` replay. Calls *to* such a function are
+    /// fast-path-safe: the replay travels with the callee.
+    pub equiv_checked_fns: Vec<String>,
+}
+
+impl WorkspaceCtx {
+    /// Build the context from all files about to be linted.
+    pub fn build(files: &[SourceFile]) -> WorkspaceCtx {
+        let mut equiv_checked_fns = Vec::new();
+        for file in files {
+            for func in &file.functions {
+                if func.is_test {
+                    continue;
+                }
+                let body = &file.tokens[func.body_start..=func.body_end];
+                let has_replay = body.iter().enumerate().any(|(k, t)| {
+                    t.ident().is_some_and(|s| s.starts_with("equiv_reference"))
+                        && body.get(k + 1).is_some_and(|n| n.is_punct('('))
+                });
+                if has_replay && !equiv_checked_fns.contains(&func.name) {
+                    equiv_checked_fns.push(func.name.clone());
+                }
+            }
+        }
+        equiv_checked_fns.sort();
+        WorkspaceCtx { equiv_checked_fns }
+    }
+}
+
+/// A single lint pass.
+pub trait Lint {
+    /// Snake-case name used in diagnostics and allow directives.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+    /// Should this file be linted at all? `rel_path` is workspace-relative
+    /// with `/` separators.
+    fn applies_to(&self, rel_path: &str) -> bool;
+    fn check(&self, file: &SourceFile, ctx: &WorkspaceCtx) -> Vec<Finding>;
+}
+
+/// All lints, in reporting order.
+pub fn all_lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(DivergentBarrier),
+        Box::new(UntimedOutsideSetup),
+        Box::new(FastpathWithoutEquiv),
+        Box::new(FloatReassociation),
+        Box::new(NondeterministicIteration),
+    ]
+}
+
+/// True when `rel_path` is production source: under a `src/` directory.
+/// (`tests/`, `benches/`, `examples/`, `ui/` trees never affect
+/// observables; the dynamic rigs already cover them.)
+pub fn is_production_src(rel_path: &str) -> bool {
+    rel_path.starts_with("src/") || rel_path.contains("/src/")
+}

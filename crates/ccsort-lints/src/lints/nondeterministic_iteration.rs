@@ -1,0 +1,60 @@
+//! `nondeterministic_iteration`: `HashMap`/`HashSet` in the crates whose
+//! behaviour reaches observables.
+//!
+//! `std` hash collections iterate in randomized order (SipHash with a
+//! per-process seed). In `crates/{machine,core,models,bench}` — the crates
+//! whose control flow decides simulated times, event counts, and emitted
+//! artefact order — any iteration over one is a nondeterminism bomb: it
+//! may pass every test locally and still reorder a golden file on another
+//! machine. The lint flags the *types* (not just iteration sites), because
+//! the cheap time to switch to `BTreeMap`/`BTreeSet` or a sorted Vec is
+//! before the map leaks into an iteration path. Lookup-only maps that
+//! demonstrably never iterate may carry a justified allow.
+
+use crate::lints::{Finding, Lint, WorkspaceCtx};
+use crate::source::SourceFile;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+pub struct NondeterministicIteration;
+
+impl Lint for NondeterministicIteration {
+    fn name(&self) -> &'static str {
+        "nondeterministic_iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet in observable-affecting crates (machine, core, models, bench)"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        ["crates/machine/src/", "crates/core/src/", "crates/models/src/", "crates/bench/src/"]
+            .iter()
+            .any(|p| rel_path.starts_with(p))
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &WorkspaceCtx) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for t in &file.tokens {
+            let Some(name) = t.ident() else { continue };
+            if !HASH_TYPES.contains(&name) || file.in_test_code(t.line) {
+                continue;
+            }
+            findings.push(Finding {
+                lint: self.name(),
+                rel_path: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{name}` in an observable-affecting crate: iteration order is randomized \
+                     per process"
+                ),
+                note: "use BTreeMap/BTreeSet or collect-and-sort before iterating; a \
+                       lookup-only map with a deterministic hasher may carry a justified \
+                       `// ccsort-lints: allow(nondeterministic_iteration) -- ...` \
+                       (DESIGN.md §13)",
+            });
+        }
+        findings
+    }
+}

@@ -1,0 +1,65 @@
+//! `untimed_outside_setup`: a `*_untimed` Machine API call outside a
+//! setup/allocation-phase function.
+//!
+//! The untimed accessors move data without charging the cost model. They
+//! exist for experiment *setup* (filling input arrays, laying out golden
+//! state) — a stray untimed access inside a timed phase silently deletes
+//! memory-system cost from the reproduction and no dynamic check can tell,
+//! because the run still sorts correctly.
+
+use crate::lints::{is_production_src, Finding, Lint, WorkspaceCtx};
+use crate::source::SourceFile;
+
+pub struct UntimedOutsideSetup;
+
+impl Lint for UntimedOutsideSetup {
+    fn name(&self) -> &'static str {
+        "untimed_outside_setup"
+    }
+
+    fn description(&self) -> &'static str {
+        "*_untimed Machine API call outside setup_*/alloc* functions"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        is_production_src(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &WorkspaceCtx) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for (i, t) in file.tokens.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            if !name.ends_with("_untimed") || !file.is_call(i) {
+                continue;
+            }
+            if file.in_test_code(t.line) {
+                continue;
+            }
+            let enclosing = file.enclosing_fn(t.line);
+            let exempt = enclosing.is_some_and(|f| {
+                // Setup/alloc-phase functions may stage data untimed; the
+                // untimed API's own implementation layer is exempt too.
+                f.name.starts_with("setup")
+                    || f.name.starts_with("alloc")
+                    || f.name.ends_with("_untimed")
+            });
+            if exempt {
+                continue;
+            }
+            findings.push(Finding {
+                lint: self.name(),
+                rel_path: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{name}()` called outside a `setup_*`/`alloc*` function; untimed data \
+                     movement in a timed phase silently deletes cost from the model"
+                ),
+                note: "move the call into the setup/alloc phase, or charge the movement \
+                       explicitly (touch_run/dma_copy) and add a justified \
+                       `// ccsort-lints: allow(untimed_outside_setup) -- ...` (DESIGN.md §13)",
+            });
+        }
+        findings
+    }
+}

@@ -1,0 +1,32 @@
+//! Workspace smoke test: the suite must build, run over the real
+//! workspace, and come back clean. This is the same check CI's gating
+//! `cargo dylint --all` job performs, wired into `cargo test --workspace`
+//! so a violation fails fast locally too.
+
+use std::path::Path;
+
+use ccsort_lints::{render, run_workspace};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    assert!(root.join("Cargo.toml").is_file(), "workspace root not found at {root:?}");
+    let report = run_workspace(root);
+    assert!(
+        report.findings.is_empty(),
+        "ccsort-lints found violations in the workspace:\n{}",
+        render(&report, false)
+    );
+    // Sanity: the walk really covered the workspace (six crates + root),
+    // and the committed justified allows are present and in use.
+    assert!(
+        report.files_scanned >= 40,
+        "suspiciously few files scanned ({}) — did the workspace walk break?",
+        report.files_scanned
+    );
+    assert!(
+        report.used_allows >= 6,
+        "expected the committed justified allows to be found and used, saw {}",
+        report.used_allows
+    );
+}

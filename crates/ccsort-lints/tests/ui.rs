@@ -1,0 +1,126 @@
+//! Compiletest-style UI harness: every lint has a `fire.rs` fixture whose
+//! `//~ <lint>` markers must be matched *exactly* (same lines, same lints,
+//! nothing extra), and a `pass.rs` fixture that must produce zero findings.
+//!
+//! Fixtures are linted under a synthetic `crates/machine/src/` path so that
+//! every lint's crate scope applies.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ccsort_lints::source::SourceFile;
+use ccsort_lints::{all_lints, run_files};
+
+fn ui_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("ui")
+}
+
+/// `(line, lint)` pairs — the shape of both the expected-marker set and
+/// the actual-finding set.
+type Findings = BTreeSet<(u32, String)>;
+
+/// Expected `(line, lint)` pairs from `//~ <lint>` markers.
+fn expected_markers(file: &SourceFile) -> Findings {
+    file.comments
+        .iter()
+        .filter_map(|c| {
+            let t = c.text.trim();
+            t.strip_prefix("~").map(|rest| (c.line, rest.trim().to_string()))
+        })
+        .collect()
+}
+
+fn run_fixture(path: &Path) -> (Findings, Findings) {
+    let src = fs::read_to_string(path).unwrap();
+    // Synthetic production path inside every lint's scope.
+    let file = SourceFile::parse("crates/machine/src/fixture.rs", &src);
+    let expected = expected_markers(&file);
+    let report = run_files(vec![file]);
+    let actual: Findings =
+        report.findings.iter().map(|f| (f.line, f.lint.to_string())).collect();
+    (expected, actual)
+}
+
+#[test]
+fn every_lint_has_fire_and_pass_fixtures() {
+    for lint in all_lints() {
+        let dir = ui_dir().join(lint.name());
+        assert!(dir.join("fire.rs").is_file(), "missing ui/{}/fire.rs", lint.name());
+        assert!(dir.join("pass.rs").is_file(), "missing ui/{}/pass.rs", lint.name());
+    }
+}
+
+#[test]
+fn fire_fixtures_fire_exactly_on_marked_lines() {
+    for lint in all_lints() {
+        let path = ui_dir().join(lint.name()).join("fire.rs");
+        let (expected, actual) = run_fixture(&path);
+        assert!(
+            !expected.is_empty(),
+            "ui/{}/fire.rs has no //~ markers — a fire fixture must assert findings",
+            lint.name()
+        );
+        assert!(
+            expected.iter().any(|(_, l)| l == lint.name()),
+            "ui/{}/fire.rs never marks its own lint",
+            lint.name()
+        );
+        assert_eq!(
+            expected, actual,
+            "ui/{}/fire.rs: marker/finding mismatch (left: expected from //~ markers, \
+             right: actual findings)",
+            lint.name()
+        );
+    }
+}
+
+#[test]
+fn pass_fixtures_stay_clean() {
+    for lint in all_lints() {
+        let path = ui_dir().join(lint.name()).join("pass.rs");
+        let (expected, actual) = run_fixture(&path);
+        assert!(
+            expected.is_empty(),
+            "ui/{}/pass.rs must not carry //~ markers",
+            lint.name()
+        );
+        assert!(
+            actual.is_empty(),
+            "ui/{}/pass.rs produced findings: {:?}",
+            lint.name(),
+            actual
+        );
+    }
+}
+
+#[test]
+fn unjustified_and_stale_allows_are_findings() {
+    let cases = [
+        // No justification at all.
+        ("fn f() {\n    // ccsort-lints: allow(divergent_barrier)\n    let x = 1;\n}\n", "no justification"),
+        // Unknown lint name.
+        ("fn f() {\n    // ccsort-lints: allow(no_such_lint) -- some words here\n    let x = 1;\n}\n", "unknown lint"),
+        // Justified but suppresses nothing.
+        ("fn f() {\n    // ccsort-lints: allow(divergent_barrier) -- stale words here\n    let x = 1;\n}\n", "stale"),
+        // Marker present but malformed.
+        ("// ccsort-lints: allowthing\n", "malformed"),
+    ];
+    for (src, what) in cases {
+        let report = run_files(vec![SourceFile::parse("crates/machine/src/fixture.rs", src)]);
+        assert_eq!(
+            report.findings.len(),
+            1,
+            "{what}: expected exactly one lint_directive finding, got {:?}",
+            report.findings
+        );
+        assert_eq!(report.findings[0].lint, "lint_directive", "{what}");
+    }
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() {\n        let m: HashMap<u32, u32> = HashMap::new();\n        assert!(m.is_empty());\n    }\n}\n";
+    let report = run_files(vec![SourceFile::parse("crates/machine/src/fixture.rs", src)]);
+    assert!(report.findings.is_empty(), "test-module code must be exempt: {:?}", report.findings);
+}

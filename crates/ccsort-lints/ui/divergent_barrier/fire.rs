@@ -1,0 +1,42 @@
+// Compile-fail fixture for `divergent_barrier`: collectives reachable only
+// under PE-id-derived conditions. Lines that must fire carry `//~ <lint>`
+// markers checked exactly by tests/ui.rs. (Fixtures are lint inputs, not
+// workspace code — they are never compiled.)
+
+struct M;
+impl M {
+    fn barrier(&mut self) {}
+    fn subset_barrier(&mut self, _pes: &[usize]) {}
+    fn publish_done(&mut self) {}
+}
+
+fn guarded_on_me(m: &mut M, me: usize) {
+    if me == 0 {
+        m.barrier(); //~ divergent_barrier
+    }
+}
+
+fn matched_on_rank(m: &mut M, rank: usize) {
+    match rank {
+        0 => {
+            m.publish_done(); //~ divergent_barrier
+        }
+        _ => {}
+    }
+}
+
+fn else_branch_of_pe_condition(m: &mut M, pe: usize) {
+    if pe > 1 {
+        let _ = pe;
+    } else {
+        m.subset_barrier(&[0]); //~ divergent_barrier
+    }
+}
+
+fn nested_under_pe(m: &mut M, my_rank: usize, done: bool) {
+    if my_rank != 0 {
+        while !done {
+            m.barrier(); //~ divergent_barrier
+        }
+    }
+}

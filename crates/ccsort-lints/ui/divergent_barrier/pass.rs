@@ -1,0 +1,44 @@
+// Compile-pass fixture for `divergent_barrier`: the shapes the lint must
+// accept.
+
+struct M;
+impl M {
+    fn barrier(&mut self) {}
+    fn charge(&mut self, _pe: usize) {}
+}
+
+// Unconditional collectives are the SPMD norm.
+fn bulk_synchronous_phase(m: &mut M, p: usize) {
+    for pe in 0..p {
+        m.charge(pe);
+    }
+    m.barrier();
+}
+
+// PE-guarded *work* is fine; only guarded collectives diverge.
+fn leader_does_extra_work(m: &mut M, me: usize) {
+    if me == 0 {
+        m.charge(0);
+    }
+    m.barrier();
+}
+
+// Conditions not derived from a PE id may guard a barrier (e.g. an
+// optional warm-up phase that every PE skips or takes together).
+fn warmup_gate(m: &mut M, warm_caches: bool) {
+    if warm_caches {
+        m.barrier();
+    }
+}
+
+// The barrier implementation layer composes barriers under internal
+// conditions; that is cost modelling, not SPMD control flow.
+struct Inner;
+impl Inner {
+    fn barrier(&mut self) {}
+}
+fn barrier_with_detector(inner: &mut Inner, detector_on: bool, me: usize) {
+    if detector_on && me < 64 {
+        inner.barrier();
+    }
+}

@@ -1,0 +1,22 @@
+// Compile-fail fixture for `fastpath_without_equiv`: fast-path internals
+// used by an entry point that carries no sampled reference replay.
+
+struct Cache;
+impl Cache {
+    fn probe_fast_ext(&mut self) {}
+    fn install_fast(&mut self) {}
+    fn sweep_hits(&mut self) -> u64 {
+        0
+    }
+}
+
+// A new fast entry point with no equiv_reference* replay anywhere in its
+// body: every internal it touches fires.
+fn new_streamed_entry(c: &mut Cache) {
+    c.sweep_hits(); //~ fastpath_without_equiv
+}
+
+fn new_scattered_entry(c: &mut Cache) {
+    c.probe_fast_ext(); //~ fastpath_without_equiv
+    c.install_fast(); //~ fastpath_without_equiv
+}

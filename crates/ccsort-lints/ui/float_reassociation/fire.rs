@@ -1,0 +1,15 @@
+// Compile-fail fixture for `float_reassociation`: implicit-order f64
+// reductions over timing values.
+
+fn total_time(times: &[f64]) -> f64 {
+    times.iter().sum::<f64>() //~ float_reassociation
+}
+
+fn folded_time(times: &[f64]) -> f64 {
+    times.iter().fold(0.0, |acc, t| acc + t) //~ float_reassociation
+}
+
+fn annotated_binding(times: &[f64]) -> f64 {
+    let total: f64 = times.iter().copied().sum(); //~ float_reassociation
+    total
+}

@@ -1,0 +1,26 @@
+// Compile-pass fixture for `float_reassociation`.
+
+// The required shape: accumulation order pinned by an explicit loop.
+fn total_time(times: &[f64]) -> f64 {
+    let mut total = 0.0_f64;
+    for &t in times {
+        total += t;
+    }
+    total
+}
+
+// Max/min folds are order-insensitive (associative + commutative on the
+// non-NaN values the simulator produces).
+fn slowest(times: &[f64]) -> f64 {
+    times.iter().copied().fold(0.0_f64, f64::max)
+}
+
+// Integer reductions don't reassociate.
+fn total_events(counts: &[u64]) -> u64 {
+    counts.iter().sum::<u64>()
+}
+
+fn total_len(lens: &[usize]) -> usize {
+    let n: usize = lens.iter().sum();
+    n
+}

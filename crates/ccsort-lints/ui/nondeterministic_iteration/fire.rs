@@ -1,0 +1,18 @@
+// Compile-fail fixture for `nondeterministic_iteration`: std hash
+// collections in observable-affecting code.
+
+use std::collections::HashMap; //~ nondeterministic_iteration
+use std::collections::HashSet; //~ nondeterministic_iteration
+
+fn digit_histogram(keys: &[u32]) -> usize {
+    let mut counts = HashMap::new(); //~ nondeterministic_iteration
+    for &k in keys {
+        *counts.entry(k & 0xff).or_insert(0u32) += 1;
+    }
+    counts.len()
+}
+
+fn distinct_homes(homes: &[usize]) -> usize {
+    let set: HashSet<usize> = homes.iter().copied().collect(); //~ nondeterministic_iteration
+    set.len()
+}

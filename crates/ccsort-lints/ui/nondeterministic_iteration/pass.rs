@@ -1,0 +1,30 @@
+// Compile-pass fixture for `nondeterministic_iteration`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+// Deterministic-by-type collections iterate in key order everywhere.
+fn digit_histogram(keys: &[u32]) -> usize {
+    let mut counts = BTreeMap::new();
+    for &k in keys {
+        *counts.entry(k & 0xff).or_insert(0u32) += 1;
+    }
+    counts.len()
+}
+
+fn distinct_homes(homes: &[usize]) -> usize {
+    let set: BTreeSet<usize> = homes.iter().copied().collect();
+    set.len()
+}
+
+// A lookup-only map with a deterministic hasher may stay, with the reason
+// written down (the directive binds to its enclosing function).
+fn page_index(pages: &[u64]) -> usize {
+    // ccsort-lints: allow(nondeterministic_iteration) -- lookup-only index
+    // with a fixed multiplicative hasher; never iterated, and a tree would
+    // cost O(log n) on the hot path.
+    let mut index = std::collections::HashMap::new();
+    for (slot, &page) in pages.iter().enumerate() {
+        index.insert(page, slot);
+    }
+    index.get(&0).copied().unwrap_or(pages.len())
+}

@@ -1,0 +1,18 @@
+// Compile-fail fixture for `untimed_outside_setup`: untimed data movement
+// inside timed phases.
+
+struct M;
+impl M {
+    fn copy_untimed(&mut self, _n: usize) {}
+    fn write_untimed(&mut self, _n: usize) {}
+}
+
+fn permute_phase(m: &mut M) {
+    m.copy_untimed(128); //~ untimed_outside_setup
+}
+
+fn histogram_accumulate(m: &mut M, lazy: bool) {
+    if lazy {
+        m.write_untimed(1); //~ untimed_outside_setup
+    }
+}

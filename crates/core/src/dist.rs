@@ -30,7 +30,10 @@ pub const MAX_KEY: u64 = 1 << 31;
 pub const KEY_BITS: u32 = 31;
 
 /// Key distribution, Section 3.3 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` so distributions can key deterministic `BTreeMap` memo caches
+/// (`nondeterministic_iteration` lint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Dist {
     /// NAS-IS style: each key the average of four consecutive values of
     /// `x_{k+1} = 513 x_k mod 2^46`, `x_0 = 314159265`.

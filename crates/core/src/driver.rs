@@ -19,7 +19,10 @@ use crate::sample::SamplingStrategy;
 use crate::{costs, radix, sample, seq};
 
 /// Algorithm × programming-model combinations under study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` so the variants can key deterministic `BTreeMap` memo caches
+/// (`nondeterministic_iteration` lint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Algorithm {
     RadixCcsas,
     RadixCcsasNew,

@@ -34,14 +34,21 @@
 //! detector exists to catch. The message-completion edge the MPI runtime
 //! really does provide is modelled explicitly with release/acquire tokens.
 
-use std::collections::HashSet;
+// BTreeSet, not HashSet: the report-dedup key set is insert-only today,
+// but everything the detector touches feeds deterministic, replayable
+// artefacts; deterministic-by-type removes the footgun outright
+// (`nondeterministic_iteration` lint).
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Cap on fully-recorded reports; beyond this only a count is kept.
 pub const MAX_REPORTS: usize = 64;
 
 /// How two unordered accesses conflicted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` so report-class keys live in a deterministic `BTreeSet`
+/// (`nondeterministic_iteration` lint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RaceKind {
     /// Two writes with no happens-before edge between them.
     WriteWrite,
@@ -130,7 +137,7 @@ pub struct RaceDetector {
     /// One report per (kind, prev_pe, pe, array) is recorded in full; the
     /// rest of that class only counts into `suppressed` (a racing loop
     /// would otherwise flood the output with one report per element).
-    seen: HashSet<(RaceKind, usize, usize, usize)>,
+    seen: BTreeSet<(RaceKind, usize, usize, usize)>,
     suppressed: u64,
     /// Global barriers observed so far (for fault injection).
     barriers_seen: usize,
@@ -163,7 +170,7 @@ impl RaceDetector {
             vc,
             vars: Vec::new(),
             reports: Vec::new(),
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             suppressed: 0,
             barriers_seen: 0,
             inject_skip_barrier: None,

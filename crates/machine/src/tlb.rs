@@ -7,6 +7,11 @@
 //! chance) replacement policy — deterministic and a good stand-in for the
 //! hardware's random replacement without introducing randomness.
 
+// ccsort-lints: allow-file(nondeterministic_iteration) -- the page-index
+// map is lookup/insert/remove only (never iterated), and its hasher is the
+// deterministic multiplicative PageHasher below, not RandomState — same
+// layout every run, on every machine. A BTreeMap here would put an O(log n)
+// search on the simulator's hottest path for no determinism gain.
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
 

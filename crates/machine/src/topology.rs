@@ -95,7 +95,14 @@ impl Topology {
     /// Average memory latency from `pe` over all nodes, weighted uniformly.
     /// Used only in tests/diagnostics to confirm the ~796 ns figure.
     pub fn avg_latency(&self, pe: usize) -> f64 {
-        let total: f64 = (0..self.n_nodes).map(|h| self.mem_latency(pe, h)).sum();
+        // Explicit left-to-right accumulation: f64 addition is not
+        // associative, and the lint suite (`float_reassociation`) requires
+        // time sums in this crate to pin their order syntactically rather
+        // than through `Iterator::sum`'s implementation detail.
+        let mut total = 0.0_f64;
+        for h in 0..self.n_nodes {
+            total += self.mem_latency(pe, h);
+        }
         total / self.n_nodes as f64
     }
 }
