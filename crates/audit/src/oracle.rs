@@ -160,7 +160,12 @@ pub fn audit_threaded(pt: &Point) -> Vec<String> {
             Box::new(move |v: &mut Vec<u32>| {
                 par_radix_sort_with(
                     v,
-                    &RadixSortConfig { radix_bits: r, chunks: Some(p), sequential_cutoff: 0 },
+                    &RadixSortConfig {
+                        radix_bits: r,
+                        chunks: Some(p),
+                        sequential_cutoff: 0,
+                        ..Default::default()
+                    },
                 )
             }),
         ),

@@ -12,6 +12,7 @@
 
 pub mod figures;
 pub mod hotpath;
+pub mod realbench;
 pub mod runner;
 
 pub use runner::{Runner, RunnerOpts, SIZE_LABELS};

@@ -1,0 +1,696 @@
+//! `realbench` — head-to-head sorting benchmarks on the actual host, the
+//! real-hardware counterpart of `BENCH_simulator.json`.
+//!
+//! The grid pits this library's parallel radix sorts against
+//! `slice::sort_unstable` and rayon's `par_sort_unstable` across input
+//! distributions (uniform, zipf-skewed, nearly-sorted, duplicate-heavy),
+//! key kinds (u32, u64, key+payload pairs) and thread counts, with the
+//! best-of-N discipline of `simbench`: every cell is measured `reps`
+//! times interleaved and the fastest wall time wins, so turbo/thermal
+//! drift cannot bias late-running variants.
+//!
+//! Three radix variants isolate the mechanisms this library stacks:
+//!
+//! * `radix_simple` — [`RadixSortConfig::simple`]: static partitioning,
+//!   direct scatter, per-pass counting (the pre-optimization baseline);
+//! * `radix_coalesced` — write-coalescing staging buffers + fused
+//!   multi-digit histogramming, still statically partitioned;
+//! * `radix_ws` — the default configuration: coalescing + fusion + the
+//!   work-stealing chunk queue.
+//!
+//! `radix_ws` vs `radix_coalesced` therefore measures exactly the steal
+//! scheduler, and `radix_coalesced` vs `radix_simple` exactly the memory
+//! tricks. Every timed sort is verified (untimed) to be a sorted
+//! permutation of its input — and bit-identical, stable order for pairs —
+//! before its time is accepted.
+//!
+//! The JSON is written by hand (like `simbench`) so the format is
+//! identical on every toolchain, and includes a `machine` block: thread
+//! counts above the host's available cores are honest oversubscription,
+//! not parallel speedup, and the file says so.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use ccsort_parallel::{
+    histogram, is_sorted, multiset_fingerprint, par_radix_sort_pairs_with, par_radix_sort_with,
+    RadixSortConfig,
+};
+
+/// Deterministic 64-bit generator (splitmix64) so every run of the bench
+/// sorts the same arrays.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Input distribution of the keys to sort.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dist {
+    /// Independent uniform keys.
+    Uniform,
+    /// Zipf-skewed key popularity (YCSB-style, theta = 0.99): a handful of
+    /// hot keys dominate, so a few radix buckets hold most of the input.
+    Zipf,
+    /// Ascending keys with 1% random swaps.
+    NearlySorted,
+    /// Sixteen distinct values.
+    DupHeavy,
+}
+
+impl Dist {
+    pub fn name(self) -> &'static str {
+        match self {
+            Dist::Uniform => "uniform",
+            Dist::Zipf => "zipf",
+            Dist::NearlySorted => "nearly_sorted",
+            Dist::DupHeavy => "dup_heavy",
+        }
+    }
+}
+
+/// YCSB-style zipfian rank sampler over `0..n` with parameter `theta`.
+pub struct Zipf {
+    n: f64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 1 && theta > 0.0 && theta < 1.0);
+        let mut zetan = 0.0f64;
+        for i in 1..=n {
+            zetan += 1.0 / (i as f64).powf(theta);
+        }
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        Zipf {
+            n: n as f64,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Map a uniform sample in [0, 1) to a zipf-distributed rank (0 is the
+    /// hottest).
+    pub fn sample(&self, u: f64) -> usize {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        r.min(self.n as usize - 1)
+    }
+}
+
+/// Generate `n` keys of `dist` as u64 ranks/values; kind-specific widths
+/// map these down.
+fn gen_raw(n: usize, dist: Dist, seed: u64, zipf_cache: &mut BTreeMap<usize, Zipf>) -> Vec<u64> {
+    let mut s = seed;
+    match dist {
+        Dist::Uniform => (0..n).map(|_| splitmix64(&mut s)).collect(),
+        Dist::Zipf => {
+            let z = zipf_cache.entry(n).or_insert_with(|| Zipf::new(n, 0.99));
+            (0..n)
+                .map(|_| {
+                    let u = (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
+                    // Spread the rank over the key space with an odd
+                    // multiplier: a bijection, so the popularity skew (and
+                    // the huge radix buckets it creates) is preserved while
+                    // every digit position still varies.
+                    (z.sample(u) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                })
+                .collect()
+        }
+        Dist::NearlySorted => {
+            let mut v: Vec<u64> = (0..n as u64).collect();
+            let swaps = n / 100;
+            for _ in 0..swaps {
+                let i = (splitmix64(&mut s) as usize) % n;
+                let j = (splitmix64(&mut s) as usize) % n;
+                v.swap(i, j);
+            }
+            v
+        }
+        Dist::DupHeavy => {
+            let pool: Vec<u64> = (0..16).map(|_| splitmix64(&mut s)).collect();
+            (0..n).map(|_| pool[(splitmix64(&mut s) & 15) as usize]).collect()
+        }
+    }
+}
+
+/// The algorithms under test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algo {
+    /// `slice::sort_unstable` — the single-threaded comparison baseline.
+    Std,
+    /// `rayon::par_sort_unstable` — the parallel comparison baseline.
+    Rayon,
+    /// [`RadixSortConfig::simple`]: the pre-optimization radix path.
+    RadixSimple,
+    /// Coalescing + fused histograms, static partitioning.
+    RadixCoalesced,
+    /// The default configuration: coalescing + fusion + work stealing.
+    RadixWs,
+}
+
+impl Algo {
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Std => "std_sort_unstable",
+            Algo::Rayon => "rayon_par_sort_unstable",
+            Algo::RadixSimple => "radix_simple",
+            Algo::RadixCoalesced => "radix_coalesced",
+            Algo::RadixWs => "radix_ws",
+        }
+    }
+
+    /// The radix configuration for this algorithm pinned to `threads`
+    /// workers, or `None` for the comparison-sort baselines.
+    fn radix_config(self, threads: usize) -> Option<RadixSortConfig> {
+        let pinned = RadixSortConfig { chunks: Some(threads), ..RadixSortConfig::default() };
+        match self {
+            Algo::Std | Algo::Rayon => None,
+            Algo::RadixSimple => {
+                Some(RadixSortConfig { chunks: Some(threads), ..RadixSortConfig::simple() })
+            }
+            Algo::RadixCoalesced => Some(RadixSortConfig { work_stealing: false, ..pinned }),
+            Algo::RadixWs => Some(pinned),
+        }
+    }
+}
+
+/// The parallel comparison baseline: `threads` sorted runs built with
+/// `sort_unstable` in parallel, then pairwise parallel merges — the
+/// algorithm behind rayon's `par_sort_unstable`. Implemented directly on
+/// `std::thread` because the workspace's vendored rayon facade executes
+/// sequentially; the JSON's `grid_note` records this.
+pub fn par_sort_unstable_baseline<T: Copy + Ord + Default + Send + Sync>(
+    v: &mut [T],
+    threads: usize,
+) {
+    let n = v.len();
+    let t = threads.clamp(1, n.max(1));
+    if t <= 1 || n < 2 {
+        v.sort_unstable();
+        return;
+    }
+    let chunk = n.div_ceil(t);
+    std::thread::scope(|s| {
+        for part in v.chunks_mut(chunk) {
+            s.spawn(move || part.sort_unstable());
+        }
+    });
+    let mut runs: Vec<(usize, usize)> = (0..t)
+        .map(|i| (i * chunk, ((i + 1) * chunk).min(n)))
+        .filter(|r| r.0 < r.1)
+        .collect();
+    let mut scratch = vec![T::default(); n];
+    let mut in_v = true;
+    while runs.len() > 1 {
+        let (src, dst): (&[T], &mut [T]) =
+            if in_v { (&*v, &mut scratch) } else { (&*scratch, v) };
+        let mut next_runs = Vec::with_capacity(runs.len().div_ceil(2));
+        std::thread::scope(|s| {
+            let mut tail = dst;
+            for pair in runs.chunks(2) {
+                let (start, end) = (pair[0].0, pair.last().unwrap().1);
+                let (seg, rest) = tail.split_at_mut(end - start);
+                tail = rest;
+                next_runs.push((start, end));
+                if let [a, b] = pair {
+                    let (a, b) = (&src[a.0..a.1], &src[b.0..b.1]);
+                    s.spawn(move || merge_into(a, b, seg));
+                } else {
+                    seg.copy_from_slice(&src[start..end]);
+                }
+            }
+        });
+        runs = next_runs;
+        in_v = !in_v;
+    }
+    if !in_v {
+        v.copy_from_slice(&scratch);
+    }
+}
+
+fn merge_into<T: Copy + Ord>(a: &[T], b: &[T], out: &mut [T]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    for slot in out.iter_mut() {
+        *slot = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+    }
+}
+
+/// Key layout of a row.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    U32,
+    U64,
+    /// u32 keys with u32 payloads (original index), sorted stably.
+    PairsU32,
+}
+
+impl Kind {
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::U32 => "u32",
+            Kind::U64 => "u64",
+            Kind::PairsU32 => "pairs_u32",
+        }
+    }
+}
+
+/// One measured grid cell.
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub kind: &'static str,
+    pub algo: &'static str,
+    pub dist: &'static str,
+    pub n: usize,
+    pub threads: usize,
+    pub reps: usize,
+    pub best_wall_s: f64,
+    pub mkeys_per_sec: f64,
+}
+
+/// Bench options: the grid and the measurement discipline.
+pub struct RealBenchOpts {
+    /// Input sizes per combo (largest drives the headline assertions).
+    pub sizes: Vec<usize>,
+    /// Thread counts for the parallel algorithms.
+    pub threads: Vec<usize>,
+    /// Interleaved repetitions per cell; best (minimum) wall time wins.
+    pub reps: usize,
+}
+
+impl RealBenchOpts {
+    /// The committed-artifact grid: 1M and 16M keys, thread sweep to 8.
+    pub fn full() -> Self {
+        let mut threads = vec![1, 2, 4, 8];
+        let avail = available_cores();
+        if avail > 8 {
+            threads.push(avail);
+        }
+        RealBenchOpts { sizes: vec![1 << 20, 1 << 24], threads, reps: 3 }
+    }
+
+    /// The CI grid: 16M keys (the size where the coalescing and stealing
+    /// relations are out-of-cache and robust), {1, max} threads — minutes,
+    /// not tens of them.
+    pub fn quick() -> Self {
+        RealBenchOpts { sizes: vec![1 << 24], threads: vec![1, available_cores().max(2)], reps: 3 }
+    }
+}
+
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Best-of-`reps` wall time for one closure over a cloneable input. The
+/// clone and the verification run outside the timed region.
+fn best_of<T: Clone, F: FnMut(&mut T)>(input: &T, reps: usize, mut sort: F, verify: impl Fn(&T)) -> f64 {
+    let mut best = f64::INFINITY;
+    for rep in 0..reps {
+        let mut v = input.clone();
+        let t0 = Instant::now();
+        sort(&mut v);
+        let dt = t0.elapsed().as_secs_f64();
+        if rep == 0 {
+            verify(&v);
+        }
+        best = best.min(dt);
+    }
+    best
+}
+
+/// Measure one `(kind, algo, dist, n, threads)` cell. `raw` is the
+/// distribution sample as u64.
+fn run_cell(kind: Kind, algo: Algo, raw: &[u64], threads: usize, reps: usize) -> f64 {
+    let n = raw.len();
+    match kind {
+        Kind::U32 => {
+            let input: Vec<u32> = raw.iter().map(|&x| x as u32).collect();
+            let fp = multiset_fingerprint(&input);
+            let verify = |v: &Vec<u32>| {
+                assert!(is_sorted(v), "{} produced unsorted output", algo.name());
+                assert_eq!(fp, multiset_fingerprint(v), "{} lost keys", algo.name());
+            };
+            match algo.radix_config(threads) {
+                None => match algo {
+                    Algo::Std => best_of(&input, reps, |v| v.sort_unstable(), verify),
+                    _ => best_of(
+                        &input,
+                        reps,
+                        |v| par_sort_unstable_baseline(v, threads),
+                        verify,
+                    ),
+                },
+                Some(cfg) => best_of(&input, reps, |v| par_radix_sort_with(v, &cfg), verify),
+            }
+        }
+        Kind::U64 => {
+            let input: Vec<u64> = raw.to_vec();
+            let fp = multiset_fingerprint(&input);
+            let verify = |v: &Vec<u64>| {
+                assert!(is_sorted(v), "{} produced unsorted output", algo.name());
+                assert_eq!(fp, multiset_fingerprint(v), "{} lost keys", algo.name());
+            };
+            match algo.radix_config(threads) {
+                None => match algo {
+                    Algo::Std => best_of(&input, reps, |v| v.sort_unstable(), verify),
+                    _ => best_of(
+                        &input,
+                        reps,
+                        |v| par_sort_unstable_baseline(v, threads),
+                        verify,
+                    ),
+                },
+                Some(cfg) => best_of(&input, reps, |v| par_radix_sort_with(v, &cfg), verify),
+            }
+        }
+        Kind::PairsU32 => {
+            let keys: Vec<u32> = raw.iter().map(|&x| x as u32).collect();
+            // Payload = original index, so the stable order is unique and
+            // equals the lexicographic tuple order.
+            let mut reference: Vec<(u32, u32)> = keys.iter().copied().zip(0..n as u32).collect();
+            reference.sort_unstable();
+            match algo.radix_config(threads) {
+                None => {
+                    let tuples: Vec<(u32, u32)> = keys.iter().copied().zip(0..n as u32).collect();
+                    let verify = |v: &Vec<(u32, u32)>| {
+                        assert_eq!(v, &reference, "{} pairs order diverges", algo.name());
+                    };
+                    match algo {
+                        Algo::Std => best_of(&tuples, reps, |v| v.sort_unstable(), verify),
+                        _ => best_of(
+                            &tuples,
+                            reps,
+                            |v| par_sort_unstable_baseline(v, threads),
+                            verify,
+                        ),
+                    }
+                }
+                Some(cfg) => {
+                    let vals: Vec<u32> = (0..n as u32).collect();
+                    let input = (keys, vals);
+                    let verify = |kv: &(Vec<u32>, Vec<u32>)| {
+                        let got: Vec<(u32, u32)> =
+                            kv.0.iter().copied().zip(kv.1.iter().copied()).collect();
+                        assert_eq!(got, reference, "{} breaks stability", algo.name());
+                    };
+                    best_of(
+                        &input,
+                        reps,
+                        |kv| par_radix_sort_pairs_with(&mut kv.0, &mut kv.1, &cfg),
+                        verify,
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Which (kind, dist) combos the grid covers. u32 takes the full
+/// distribution sweep; u64 and pairs are pruned to the shapes that add
+/// information (u64: bandwidth; pairs: payload movement + stability under
+/// duplicates). The pruning is recorded in the JSON's `grid_note`.
+pub const COMBOS: &[(Kind, Dist)] = &[
+    (Kind::U32, Dist::Uniform),
+    (Kind::U32, Dist::Zipf),
+    (Kind::U32, Dist::NearlySorted),
+    (Kind::U32, Dist::DupHeavy),
+    (Kind::U64, Dist::Uniform),
+    (Kind::U64, Dist::Zipf),
+    (Kind::PairsU32, Dist::Uniform),
+    (Kind::PairsU32, Dist::DupHeavy),
+];
+
+/// Run the whole grid and return the rows (sort rows plus the histogram
+/// padding regression pair).
+pub fn run_grid(opts: &RealBenchOpts, progress: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut zipf_cache = BTreeMap::new();
+    for &(kind, dist) in COMBOS {
+        for &n in &opts.sizes {
+            let raw = gen_raw(n, dist, 0xC0FF_EE00 ^ n as u64, &mut zipf_cache);
+            for algo in [Algo::Std, Algo::Rayon, Algo::RadixSimple, Algo::RadixCoalesced, Algo::RadixWs]
+            {
+                // std is single-threaded: one row, at threads = 1.
+                let thread_list: &[usize] =
+                    if algo == Algo::Std { &[1] } else { &opts.threads };
+                for &t in thread_list {
+                    let best = run_cell(kind, algo, &raw, t, opts.reps);
+                    let row = Row {
+                        kind: kind.name(),
+                        algo: algo.name(),
+                        dist: dist.name(),
+                        n,
+                        threads: t,
+                        reps: opts.reps,
+                        best_wall_s: best,
+                        mkeys_per_sec: n as f64 / best / 1e6,
+                    };
+                    if progress {
+                        println!(
+                            "{:9} {:24} {:13} n={:<9} t={:<3} best {:>8.4}s  {:>8.2} Mkeys/s",
+                            row.kind, row.algo, row.dist, row.n, row.threads,
+                            row.best_wall_s, row.mkeys_per_sec
+                        );
+                    }
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    rows.extend(histogram_padding_rows(opts, progress, &mut zipf_cache));
+    rows
+}
+
+/// The false-sharing regression pair: `par_digit_histogram` with
+/// cache-line-padded per-thread counters vs the unpadded fold it replaced,
+/// same input. Measured, not assumed — reported at threads = 1 because the
+/// fold runs through the (sequential in this build) rayon facade, so the
+/// pair demonstrates the padding costs nothing even without contention;
+/// under real contention it can only help more.
+fn histogram_padding_rows(
+    opts: &RealBenchOpts,
+    progress: bool,
+    zipf_cache: &mut BTreeMap<usize, Zipf>,
+) -> Vec<Row> {
+    let n = *opts.sizes.iter().max().expect("non-empty sizes");
+    let keys: Vec<u32> =
+        gen_raw(n, Dist::Uniform, 0xFEED, zipf_cache).iter().map(|&x| x as u32).collect();
+    let expect = histogram::par_digit_histogram(&keys, 0, 8);
+    let mut rows = Vec::new();
+    for (name, padded) in [("hist_padded", true), ("hist_unpadded", false)] {
+        let best = {
+            let mut best = f64::INFINITY;
+            for _ in 0..opts.reps.max(3) {
+                let t0 = Instant::now();
+                let h = if padded {
+                    histogram::par_digit_histogram(&keys, 0, 8)
+                } else {
+                    histogram::par_digit_histogram_unpadded(&keys, 0, 8)
+                };
+                best = best.min(t0.elapsed().as_secs_f64());
+                assert_eq!(h, expect, "padded and unpadded histograms must agree");
+            }
+            best
+        };
+        let row = Row {
+            kind: "hist",
+            algo: name,
+            dist: Dist::Uniform.name(),
+            n,
+            threads: 1,
+            reps: opts.reps.max(3),
+            best_wall_s: best,
+            mkeys_per_sec: n as f64 / best / 1e6,
+        };
+        if progress {
+            println!(
+                "{:9} {:24} {:13} n={:<9} t={:<3} best {:>8.4}s  {:>8.2} Mkeys/s",
+                row.kind, row.algo, row.dist, row.n, row.threads, row.best_wall_s,
+                row.mkeys_per_sec
+            );
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+fn find_row<'a>(rows: &'a [Row], kind: &str, algo: &str, dist: &str, n: usize, t: usize) -> &'a Row {
+    rows.iter()
+        .find(|r| r.kind == kind && r.algo == algo && r.dist == dist && r.n == n && r.threads == t)
+        .unwrap_or_else(|| panic!("missing row {kind}/{algo}/{dist}/n={n}/t={t}"))
+}
+
+/// The internal relations the PR claims, checked at the grid's largest
+/// size and thread count (machine-relative, so they are meaningful on any
+/// host). `tol` > 1 loosens the comparisons for noisy CI runners; 1.0
+/// demands strict wins. Returns human-readable failures.
+pub fn check_assertions(rows: &[Row], opts: &RealBenchOpts, tol: f64) -> Vec<String> {
+    let n = *opts.sizes.iter().max().expect("non-empty sizes");
+    let t = *opts.threads.iter().max().expect("non-empty thread list");
+    let mut failures = Vec::new();
+    let mut require = |label: &str, lhs: &Row, rhs: &Row| {
+        if lhs.best_wall_s > rhs.best_wall_s * tol {
+            failures.push(format!(
+                "{label}: {} {:.4}s vs {} {:.4}s (tol {tol})",
+                lhs.algo, lhs.best_wall_s, rhs.algo, rhs.best_wall_s
+            ));
+        }
+    };
+    // Coalescing + fusion beat the pre-optimization path on uniform keys.
+    require(
+        "coalesced vs simple (uniform u32)",
+        find_row(rows, "u32", "radix_coalesced", "uniform", n, t),
+        find_row(rows, "u32", "radix_simple", "uniform", n, t),
+    );
+    // The full radix stack beats rayon's comparison sort on uniform u32.
+    require(
+        "radix_ws vs rayon (uniform u32)",
+        find_row(rows, "u32", "radix_ws", "uniform", n, t),
+        find_row(rows, "u32", "rayon_par_sort_unstable", "uniform", n, t),
+    );
+    // Work stealing beats static partitioning on the skewed row.
+    require(
+        "stealing vs static (zipf u32)",
+        find_row(rows, "u32", "radix_ws", "zipf", n, t),
+        find_row(rows, "u32", "radix_coalesced", "zipf", n, t),
+    );
+    // Padded per-thread counters are no slower than the unpadded fold.
+    require(
+        "padded vs unpadded histogram",
+        find_row(rows, "hist", "hist_padded", "uniform", n, 1),
+        find_row(rows, "hist", "hist_unpadded", "uniform", n, 1),
+    );
+    failures
+}
+
+/// One JSON number: plain decimal, never NaN/Inf.
+fn num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{:.1}", x)
+    } else {
+        format!("{:.6}", x)
+    }
+}
+
+fn proc_field(path: &str, key: &str) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines()
+        .find(|l| l.starts_with(key))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|v| v.trim().to_string())
+}
+
+/// Render the rows as the committed JSON artifact, with an honest machine
+/// description (oversubscribed thread counts are called out, not hidden).
+pub fn to_json(rows: &[Row], opts: &RealBenchOpts) -> String {
+    let cores = available_cores();
+    let cpu = proc_field("/proc/cpuinfo", "model name").unwrap_or_else(|| "unknown".to_string());
+    let mem_kb: u64 = proc_field("/proc/meminfo", "MemTotal")
+        .and_then(|v| v.split_whitespace().next().and_then(|x| x.parse().ok()))
+        .unwrap_or(0);
+    let max_t = opts.threads.iter().max().copied().unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"real_sorts\",\n");
+    json.push_str("  \"metric\": \"million keys sorted per wall-clock second (best of reps)\",\n");
+    json.push_str("  \"machine\": {\n");
+    json.push_str(&format!("    \"cpu\": \"{}\",\n", cpu.replace('"', "'")));
+    json.push_str(&format!("    \"cores_available\": {},\n", cores));
+    json.push_str(&format!("    \"mem_gb\": {},\n", mem_kb / (1 << 20)));
+    if max_t > cores {
+        json.push_str(&format!(
+            "    \"note\": \"thread counts above {} are oversubscribed on this host: those rows measure scheduling robustness (work stealing vs static partitioning under timesharing), not parallel scaling\",\n",
+            cores
+        ));
+    }
+    json.push_str("    \"os\": \"linux\"\n  },\n");
+    json.push_str(
+        "  \"grid_note\": \"u32 runs all four distributions; u64 is pruned to uniform+zipf and pairs to uniform+dup_heavy (the shapes that add information); std_sort_unstable is single-threaded and reported once per combo; the rayon_par_sort_unstable row is implemented as rayon's algorithm (parallel sort_unstable runs + pairwise parallel merges) directly on std::thread because this build environment vendors a sequential rayon facade\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"algo\": \"{}\", \"dist\": \"{}\", \"n\": {}, \"threads\": {}, \"reps\": {}, \"best_wall_s\": {}, \"mkeys_per_sec\": {}}}{}\n",
+            r.kind,
+            r.algo,
+            r.dist,
+            r.n,
+            r.threads,
+            r.reps,
+            num(r.best_wall_s),
+            num(r.mkeys_per_sec),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut s = 7u64;
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            let u = (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
+            counts[z.sample(u)] += 1;
+        }
+        // Rank 0 must dominate any mid-popularity rank by a wide margin.
+        assert!(counts[0] > 20 * counts[500].max(1), "zipf not skewed: {:?}", &counts[..4]);
+    }
+
+    #[test]
+    fn distributions_have_the_claimed_shape() {
+        let mut cache = BTreeMap::new();
+        let dup = gen_raw(10_000, Dist::DupHeavy, 1, &mut cache);
+        let distinct: std::collections::BTreeSet<u64> = dup.iter().copied().collect();
+        assert!(distinct.len() <= 16);
+        let ns = gen_raw(10_000, Dist::NearlySorted, 1, &mut cache);
+        let sorted_adjacent = ns.windows(2).filter(|w| w[0] <= w[1]).count();
+        assert!(sorted_adjacent > 9_500, "nearly-sorted input too shuffled");
+    }
+
+    #[test]
+    fn tiny_grid_produces_verified_rows_and_assertions_resolve() {
+        let opts = RealBenchOpts { sizes: vec![1 << 14], threads: vec![1, 2], reps: 1 };
+        let rows = run_grid(&opts, false);
+        // std once + 4 parallel algos × 2 thread counts, per combo + 2 hist rows.
+        assert_eq!(rows.len(), COMBOS.len() * (1 + 4 * 2) + 2);
+        assert!(rows.iter().all(|r| r.best_wall_s > 0.0));
+        // The relations must at least be *resolvable* (rows present); at
+        // this toy size the timings themselves are noise, so use a huge
+        // tolerance and only require that nothing is pathologically off.
+        let failures = check_assertions(&rows, &opts, 1e6);
+        assert!(failures.is_empty(), "{failures:?}");
+        let json = to_json(&rows, &opts);
+        assert!(json.contains("\"bench\": \"real_sorts\""));
+        assert!(json.contains("radix_ws"));
+    }
+}

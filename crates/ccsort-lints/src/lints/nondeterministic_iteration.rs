@@ -28,9 +28,13 @@ impl Lint for NondeterministicIteration {
     }
 
     fn applies_to(&self, rel_path: &str) -> bool {
+        // steal.rs rides along: the work-stealing queue decides which worker
+        // permutes which chunk, and any hash-ordered choice there would make
+        // the victim-selection (and thus contention patterns) seed-dependent.
         ["crates/machine/src/", "crates/core/src/", "crates/models/src/", "crates/bench/src/"]
             .iter()
             .any(|p| rel_path.starts_with(p))
+            || rel_path == "crates/parallel/src/steal.rs"
     }
 
     fn check(&self, file: &SourceFile, _ctx: &WorkspaceCtx) -> Vec<Finding> {

@@ -1,16 +1,212 @@
 //! Parallel histogram and counting-sort utilities.
 //!
 //! The building blocks of every sort in this workspace, exposed for
-//! standalone use: a rayon-parallel digit histogram (fold-reduce over
-//! chunks) and a counting sort for small-range keys.
+//! standalone use: a rayon-parallel digit histogram whose per-thread count
+//! arrays are cache-line padded (no false sharing between accumulators), a
+//! fused multi-digit histogram that counts every pass's digits in one read,
+//! and a counting sort for small-range keys. [`PaddedCounts`] is the
+//! padded count-matrix storage the radix-sort engine builds its per-chunk
+//! histograms and offsets in.
 
 use rayon::prelude::*;
 
 use crate::key::RadixKey;
+use crate::seq::passes_for;
+
+/// Words per 64-byte cache line (`usize` is 8 bytes on every target this
+/// library supports).
+const LINE_WORDS: usize = 8;
+
+/// One 64-byte-aligned cache line of counters. The `#[repr(align(64))]`
+/// wrapper is what keeps two threads' count arrays from ever sharing a
+/// line: a `Vec<CacheLine>` is aligned storage whose rows can be handed to
+/// different threads without write-write line ping-pong at the edges.
+#[repr(C, align(64))]
+#[derive(Clone, Copy, Default)]
+struct CacheLine([usize; LINE_WORDS]);
+
+/// A rows × bins count matrix in which every row starts on a 64-byte cache
+/// line boundary and is padded to a whole number of lines. Rows are the
+/// per-thread (or per-chunk) accumulators of the parallel sorts; the
+/// padding means two workers incrementing counts in different rows never
+/// write the same cache line.
+pub struct PaddedCounts {
+    lines: Vec<CacheLine>,
+    stride: usize, // words per row, multiple of LINE_WORDS
+    bins: usize,
+    rows: usize,
+}
+
+impl PaddedCounts {
+    /// A zeroed matrix with `rows` padded rows of `bins` counters each.
+    pub fn new(rows: usize, bins: usize) -> Self {
+        let stride = bins.div_ceil(LINE_WORDS).max(1) * LINE_WORDS;
+        let lines = vec![CacheLine::default(); rows * stride / LINE_WORDS];
+        PaddedCounts { lines, stride, bins, rows }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of counters per row.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    fn flat(&self) -> &[usize] {
+        // SAFETY: `CacheLine` is `#[repr(C)]` over `[usize; LINE_WORDS]`,
+        // so the line buffer is exactly `lines.len() * LINE_WORDS`
+        // contiguous initialized words.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.lines.as_ptr().cast::<usize>(),
+                self.lines.len() * LINE_WORDS,
+            )
+        }
+    }
+
+    fn flat_mut(&mut self) -> &mut [usize] {
+        // SAFETY: as in `flat`, plus we hold `&mut self`.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.lines.as_mut_ptr().cast::<usize>(),
+                self.lines.len() * LINE_WORDS,
+            )
+        }
+    }
+
+    /// Row `r` as a `bins`-long slice.
+    pub fn row(&self, r: usize) -> &[usize] {
+        let start = r * self.stride;
+        &self.flat()[start..start + self.bins]
+    }
+
+    /// Row `r`, mutable.
+    pub fn row_mut(&mut self, r: usize) -> &mut [usize] {
+        let start = r * self.stride;
+        let bins = self.bins;
+        &mut self.flat_mut()[start..start + bins]
+    }
+
+    /// Zero every counter.
+    pub fn clear(&mut self) {
+        self.lines.fill(CacheLine::default());
+    }
+
+    /// Add every counter of `other` (same shape) into `self`.
+    pub fn accumulate(&mut self, other: &PaddedCounts) {
+        assert_eq!((self.rows, self.bins), (other.rows, other.bins));
+        for r in 0..self.rows {
+            let start = r * self.stride;
+            let bins = self.bins;
+            let dst = &mut self.flat_mut()[start..start + bins];
+            let src = &other.flat()[start..start + bins];
+            for (a, b) in dst.iter_mut().zip(src) {
+                *a += b;
+            }
+        }
+    }
+
+    /// A `Send + Sync` view for phases in which each row is written by at
+    /// most one worker at a time (workers claim disjoint chunk ids and
+    /// touch only their claimed chunks' rows).
+    pub fn shared(&mut self) -> SharedCounts<'_> {
+        SharedCounts {
+            ptr: self.flat_mut().as_mut_ptr(),
+            stride: self.stride,
+            bins: self.bins,
+            rows: self.rows,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Shared view of a [`PaddedCounts`] for disjoint-row parallel access; the
+/// count-matrix analogue of [`crate::SharedSlice`].
+pub struct SharedCounts<'a> {
+    ptr: *mut usize,
+    stride: usize,
+    bins: usize,
+    rows: usize,
+    _marker: std::marker::PhantomData<&'a mut [usize]>,
+}
+
+unsafe impl Send for SharedCounts<'_> {}
+unsafe impl Sync for SharedCounts<'_> {}
+
+impl SharedCounts<'_> {
+    /// Row `r`, mutable.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access row `r` for the lifetime of the returned
+    /// slice. The sorts guarantee this by claiming each chunk id exactly
+    /// once per phase ([`crate::steal::ChunkQueue`]).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn row_mut(&self, r: usize) -> &mut [usize] {
+        debug_assert!(r < self.rows, "SharedCounts row out of bounds: {r} >= {}", self.rows);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(r * self.stride), self.bins) }
+    }
+}
+
+/// Count `keys`' digits at `shift` into `row`, 4-way unrolled: the four
+/// independent extractions per iteration give the core ILP that a single
+/// load → increment dependency chain denies it.
+pub(crate) fn count_digits_into<K: RadixKey>(keys: &[K], shift: u32, mask: u64, row: &mut [usize]) {
+    let mut quads = keys.chunks_exact(4);
+    for q in quads.by_ref() {
+        let d0 = q[0].digit(shift, mask);
+        let d1 = q[1].digit(shift, mask);
+        let d2 = q[2].digit(shift, mask);
+        let d3 = q[3].digit(shift, mask);
+        row[d0] += 1;
+        row[d1] += 1;
+        row[d2] += 1;
+        row[d3] += 1;
+    }
+    for k in quads.remainder() {
+        row[k.digit(shift, mask)] += 1;
+    }
+}
 
 /// Count the occurrences of the `radix_bits`-wide digit at `shift` across
-/// `keys`, in parallel.
+/// `keys`, in parallel. Per-thread accumulators are cache-line padded
+/// ([`PaddedCounts`]), so concurrent counting never false-shares.
 pub fn par_digit_histogram<K: RadixKey>(keys: &[K], shift: u32, radix_bits: u32) -> Vec<usize> {
+    assert!((1..=16).contains(&radix_bits));
+    let bins = 1usize << radix_bits;
+    let mask = (bins - 1) as u64;
+    keys.par_chunks(64 * 1024)
+        .fold(
+            || PaddedCounts::new(1, bins),
+            |mut h, chunk| {
+                count_digits_into(chunk, shift, mask, h.row_mut(0));
+                h
+            },
+        )
+        .reduce(
+            || PaddedCounts::new(1, bins),
+            |mut a, b| {
+                a.accumulate(&b);
+                a
+            },
+        )
+        .row(0)
+        .to_vec()
+}
+
+/// The pre-padding histogram: per-thread accumulators are plain `Vec`s
+/// whose allocations can share cache lines at the edges. Kept only so
+/// `realbench` can *measure* the padding effect (a regression row in
+/// `BENCH_real_sorts.json`) instead of assuming it.
+#[doc(hidden)]
+pub fn par_digit_histogram_unpadded<K: RadixKey>(
+    keys: &[K],
+    shift: u32,
+    radix_bits: u32,
+) -> Vec<usize> {
     assert!((1..=16).contains(&radix_bits));
     let bins = 1usize << radix_bits;
     let mask = (bins - 1) as u64;
@@ -33,6 +229,44 @@ pub fn par_digit_histogram<K: RadixKey>(keys: &[K], shift: u32, radix_bits: u32)
                 a
             },
         )
+}
+
+/// Fused multi-digit histogram: one parallel read of `keys` counting every
+/// LSD pass's digit at once. Returns `passes_for::<K>(radix_bits)` rows of
+/// `1 << radix_bits` global counts — row `p` is the histogram of the digit
+/// at shift `p * radix_bits`.
+///
+/// Global digit counts are permutation-invariant, so the rows stay valid
+/// across every pass of an LSD sort no matter how the data moves; the
+/// radix engine uses exactly this to decide up front which passes are
+/// trivial (all keys in one bin ⇒ identity permutation ⇒ skippable).
+pub fn par_multi_digit_histogram<K: RadixKey>(keys: &[K], radix_bits: u32) -> Vec<Vec<usize>> {
+    assert!((1..=16).contains(&radix_bits));
+    let bins = 1usize << radix_bits;
+    let mask = (bins - 1) as u64;
+    let passes = passes_for::<K>(radix_bits) as usize;
+    let counts = keys
+        .par_chunks(64 * 1024)
+        .fold(
+            || PaddedCounts::new(passes, bins),
+            |mut h, chunk| {
+                for k in chunk {
+                    let bits = k.to_bits();
+                    for p in 0..passes {
+                        h.row_mut(p)[((bits >> (p as u32 * radix_bits)) & mask) as usize] += 1;
+                    }
+                }
+                h
+            },
+        )
+        .reduce(
+            || PaddedCounts::new(passes, bins),
+            |mut a, b| {
+                a.accumulate(&b);
+                a
+            },
+        );
+    (0..passes).map(|p| counts.row(p).to_vec()).collect()
 }
 
 /// Exclusive prefix sum, returning the total.
@@ -83,6 +317,92 @@ mod tests {
             }
             assert_eq!(par, ser, "shift={shift} bits={bits}");
             assert_eq!(par.iter().sum::<usize>(), keys.len());
+            assert_eq!(par_digit_histogram_unpadded(&keys, shift, bits), ser);
+        }
+    }
+
+    #[test]
+    fn multi_digit_histogram_matches_per_pass() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys: Vec<u32> = (0..100_000).map(|_| rng.random()).collect();
+        for bits in [8u32, 11] {
+            let fused = par_multi_digit_histogram(&keys, bits);
+            assert_eq!(fused.len(), passes_for::<u32>(bits) as usize);
+            for (p, row) in fused.iter().enumerate() {
+                assert_eq!(
+                    row,
+                    &par_digit_histogram(&keys, p as u32 * bits, bits),
+                    "pass {p} bits {bits}"
+                );
+            }
+        }
+        // u64 keys: 8 passes at radix 8.
+        let wide: Vec<u64> = (0..50_000).map(|_| rng.random()).collect();
+        let fused = par_multi_digit_histogram(&wide, 8);
+        assert_eq!(fused.len(), 8);
+        for (p, row) in fused.iter().enumerate() {
+            assert_eq!(row, &par_digit_histogram(&wide, p as u32 * 8, 8));
+        }
+    }
+
+    #[test]
+    fn padded_counts_rows_are_line_aligned_and_disjoint() {
+        let mut m = PaddedCounts::new(5, 11);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.bins(), 11);
+        for r in 0..5 {
+            assert_eq!(m.row(r).as_ptr() as usize % 64, 0, "row {r} not 64B-aligned");
+            for (d, slot) in m.row_mut(r).iter_mut().enumerate() {
+                *slot = r * 100 + d;
+            }
+        }
+        for r in 0..5 {
+            for d in 0..11 {
+                assert_eq!(m.row(r)[d], r * 100 + d);
+            }
+        }
+        let mut other = PaddedCounts::new(5, 11);
+        other.row_mut(2)[3] = 7;
+        m.accumulate(&other);
+        assert_eq!(m.row(2)[3], 203 + 7);
+        m.clear();
+        assert!((0..5).all(|r| m.row(r).iter().all(|&c| c == 0)));
+    }
+
+    #[test]
+    fn shared_counts_parallel_disjoint_rows() {
+        let rows = 8;
+        let mut m = PaddedCounts::new(rows, 16);
+        let shared = m.shared();
+        std::thread::scope(|s| {
+            for r in 0..rows {
+                let shared = &shared;
+                s.spawn(move || {
+                    // SAFETY: each thread touches exactly one row.
+                    let row = unsafe { shared.row_mut(r) };
+                    for (d, slot) in row.iter_mut().enumerate() {
+                        *slot = r * 1000 + d;
+                    }
+                });
+            }
+        });
+        for r in 0..rows {
+            assert!(m.row(r).iter().enumerate().all(|(d, &v)| v == r * 1000 + d));
+        }
+    }
+
+    #[test]
+    fn unrolled_counting_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [0usize, 1, 3, 4, 5, 1023] {
+            let keys: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+            let mut unrolled = vec![0usize; 256];
+            count_digits_into(&keys, 8, 0xFF, &mut unrolled);
+            let mut naive = vec![0usize; 256];
+            for k in &keys {
+                naive[k.digit(8, 0xFF)] += 1;
+            }
+            assert_eq!(unrolled, naive, "n={n}");
         }
     }
 

@@ -39,16 +39,23 @@ pub mod radix;
 pub mod sample;
 pub mod seq;
 pub mod shared;
+pub mod steal;
 pub mod sym;
 pub mod verify;
 
-pub use histogram::{counting_sort, exclusive_prefix_sum, par_digit_histogram};
+pub use histogram::{
+    counting_sort, exclusive_prefix_sum, par_digit_histogram, par_multi_digit_histogram,
+    PaddedCounts,
+};
 pub use key::RadixKey;
 pub use merge::par_merge_sort;
 pub use msd::{msd_radix_sort, par_msd_radix_sort};
-pub use pairs::{par_radix_sort_by_key, par_radix_sort_pairs, radix_sort_pairs};
-pub use radix::{par_radix_sort, par_radix_sort_with, RadixSortConfig};
+pub use pairs::{
+    par_radix_sort_by_key, par_radix_sort_pairs, par_radix_sort_pairs_with, radix_sort_pairs,
+};
+pub use radix::{par_radix_sort, par_radix_sort_with, RadixSortConfig, MAX_COALESCE_BYTES};
 pub use sample::{par_sample_sort, par_sample_sort_with, SampleSortConfig, SAMPLES_PER_PART};
 pub use seq::{radix_sort as seq_radix_sort, radix_sort_with_scratch, DEFAULT_RADIX_BITS};
 pub use shared::SharedSlice;
+pub use steal::ChunkQueue;
 pub use verify::{is_sorted, is_sorted_permutation_of, multiset_fingerprint};

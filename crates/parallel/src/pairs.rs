@@ -2,10 +2,8 @@
 //! arbitrary copyable records — what a database index build (the paper's
 //! motivating use) actually needs.
 
-use rayon::prelude::*;
-
 use crate::key::RadixKey;
-use crate::shared::SharedSlice;
+use crate::radix::RadixSortConfig;
 
 /// Sequential LSD radix sort of parallel `keys`/`values` arrays (structure
 /// of arrays): after return, `keys` is sorted and `values[i]` is still the
@@ -60,78 +58,36 @@ pub fn radix_sort_pairs<K: RadixKey + Default, V: Copy + Default>(
     }
 }
 
-/// Thread-parallel LSD radix sort of parallel `keys`/`values` arrays,
-/// structured like [`crate::par_radix_sort`] (per-chunk histograms, global
-/// ranks, disjoint parallel permutation). Stable.
+/// Thread-parallel LSD radix sort of parallel `keys`/`values` arrays with
+/// the default configuration. Stable.
 pub fn par_radix_sort_pairs<K, V>(keys: &mut [K], values: &mut [V], radix_bits: u32)
 where
     K: RadixKey + Default,
     V: Copy + Default + Send + Sync,
 {
+    par_radix_sort_pairs_with(keys, values, &RadixSortConfig { radix_bits, ..Default::default() });
+}
+
+/// Thread-parallel LSD radix sort of parallel `keys`/`values` arrays with
+/// an explicit configuration. Runs the same engine as
+/// [`crate::par_radix_sort_with`] with the payload lane enabled, so the
+/// pairs sort gets write coalescing, work stealing, and fused
+/// histogramming too. Stable for every configuration: within a chunk,
+/// records are staged and flushed in input order to consecutive ranks;
+/// across chunks, lower chunk ids rank first for equal digits.
+pub fn par_radix_sort_pairs_with<K, V>(keys: &mut [K], values: &mut [V], cfg: &RadixSortConfig)
+where
+    K: RadixKey + Default,
+    V: Copy + Default + Send + Sync,
+{
     assert_eq!(keys.len(), values.len(), "keys and values must be parallel arrays");
-    assert!((1..=16).contains(&radix_bits));
-    let n = keys.len();
-    if n <= 1 << 13 {
-        return radix_sort_pairs(keys, values, radix_bits);
+    if let Err(e) = cfg.validate() {
+        panic!("invalid RadixSortConfig: {e}");
     }
-    let t = rayon::current_num_threads().clamp(1, n);
-    let bins = 1usize << radix_bits;
-    let mask = (bins - 1) as u64;
-    let passes = K::BITS.div_ceil(radix_bits);
-    let chunk = |c: usize| (c * n / t)..((c + 1) * n / t);
-
-    let mut key_scratch = vec![K::default(); n];
-    let mut val_scratch = vec![V::default(); n];
-
-    let mut flipped = false;
-    for pass in 0..passes {
-        let shift = pass * radix_bits;
-        let (ks, vs, kd, vd): (&[K], &[V], &mut [K], &mut [V]) = if flipped {
-            (&*key_scratch, &*val_scratch, &mut *keys, &mut *values)
-        } else {
-            (&*keys, &*values, &mut *key_scratch, &mut *val_scratch)
-        };
-
-        let hists: Vec<Vec<usize>> = (0..t)
-            .into_par_iter()
-            .map(|c| {
-                let mut h = vec![0usize; bins];
-                for k in &ks[chunk(c)] {
-                    h[k.digit(shift, mask)] += 1;
-                }
-                h
-            })
-            .collect();
-        let mut offsets = vec![vec![0usize; bins]; t];
-        let mut acc = 0usize;
-        for d in 0..bins {
-            for c in 0..t {
-                offsets[c][d] = acc;
-                acc += hists[c][d];
-            }
-        }
-
-        let out_k = SharedSlice::new(kd);
-        let out_v = SharedSlice::new(vd);
-        offsets.par_iter_mut().enumerate().for_each(|(c, off)| {
-            let range = chunk(c);
-            for (k, v) in ks[range.clone()].iter().zip(&vs[range]) {
-                let d = k.digit(shift, mask);
-                // SAFETY: ranks partition [0, n) disjointly across (c, d);
-                // see `par_radix_sort`.
-                unsafe {
-                    out_k.write(off[d], *k);
-                    out_v.write(off[d], *v);
-                }
-                off[d] += 1;
-            }
-        });
-        flipped = !flipped;
+    if keys.len() <= cfg.sequential_cutoff.max(1) {
+        return radix_sort_pairs(keys, values, cfg.radix_bits);
     }
-    if flipped {
-        keys.copy_from_slice(&key_scratch);
-        values.copy_from_slice(&val_scratch);
-    }
+    crate::radix::sort_engine::<K, V, true>(keys, values, cfg);
 }
 
 /// Sort copyable records by an extracted radix key, in parallel. Stable
@@ -220,6 +176,29 @@ mod tests {
         par_radix_sort_by_key(&mut recs, |r| r.0);
         // Equal keys keep original (index) order == sort_by_key stability.
         assert_eq!(recs, expect);
+    }
+
+    #[test]
+    fn pairs_stable_under_every_config() {
+        // Duplicate-heavy keys with order-recording payloads: every
+        // mechanism combination must reproduce the sequential stable order.
+        let mut rng = StdRng::seed_from_u64(9);
+        let keys_in: Vec<u16> = (0..30_000).map(|_| rng.random_range(0..32u16)).collect();
+        let vals_in: Vec<u32> = (0..30_000).collect();
+        let (mut ks, mut vs) = (keys_in.clone(), vals_in.clone());
+        radix_sort_pairs(&mut ks, &mut vs, 8);
+        let base = RadixSortConfig { sequential_cutoff: 0, ..Default::default() };
+        for cfg in [
+            RadixSortConfig { sequential_cutoff: 0, ..RadixSortConfig::simple() },
+            RadixSortConfig { coalesce_bytes: Some(8), ..base.clone() },
+            RadixSortConfig { fused_histogram: false, work_stealing: false, ..base.clone() },
+            base,
+        ] {
+            let (mut k, mut v) = (keys_in.clone(), vals_in.clone());
+            par_radix_sort_pairs_with(&mut k, &mut v, &cfg);
+            assert_eq!(k, ks, "keys diverge under {cfg:?}");
+            assert_eq!(v, vs, "stable order diverges under {cfg:?}");
+        }
     }
 
     #[test]

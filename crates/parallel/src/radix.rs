@@ -1,40 +1,155 @@
-//! Thread-parallel LSD radix sort.
+//! Thread-parallel LSD radix sort, speed-grade.
 //!
-//! The structure mirrors the paper's parallel radix sort: each pass builds
-//! per-chunk histograms in parallel, combines them into global ranks
-//! (`offset[chunk][digit]`), and permutes keys directly to their final
-//! positions. On a shared-memory machine the permutation is the "CC-SAS"
-//! flavour — every worker writes straight into the shared output through a
-//! [`SharedSlice`], with disjointness guaranteed by the rank arithmetic.
+//! The structure mirrors the paper's parallel radix sort — per-chunk
+//! histograms, global ranks (`offset[chunk][digit]`), disjoint parallel
+//! permutation through a [`SharedSlice`] — with the paper's communication
+//! tricks ported to real cores:
+//!
+//! * **Write coalescing** ([`RadixSortConfig::coalesce_bytes`]): each
+//!   worker stages keys in small per-bucket buffers and flushes a full
+//!   buffer with one contiguous block store into the shared output. The
+//!   scattered single-element remote writes that dominate the paper's
+//!   permutation phase become full-cache-line bursts — the paper's message
+//!   coalescing, lifted to shared memory.
+//! * **Work stealing** ([`RadixSortConfig::work_stealing`]): the input is
+//!   over-partitioned into more chunks than workers and both the counting
+//!   and permute phases drain a [`ChunkQueue`], so a straggling worker (or
+//!   a skew-slowed chunk) never serializes a phase. Output is independent
+//!   of the steal schedule: every element's destination is fixed by the
+//!   rank arithmetic before the phase starts.
+//! * **Fused multi-digit histogramming**
+//!   ([`RadixSortConfig::fused_histogram`]): one unrolled read pass counts
+//!   every pass's digits at once (global counts are permutation-invariant),
+//!   which both discovers trivial passes to skip outright and seeds the
+//!   first per-chunk histogram; each permute then counts the *next* pass's
+//!   per-chunk digits while the keys are already in registers, eliminating
+//!   the per-pass re-read of the whole array.
+//!
+//! All count matrices are cache-line padded ([`PaddedCounts`]), so no two
+//! workers' counters ever share a line. The pre-optimization behaviour is
+//! preserved behind [`RadixSortConfig::simple`]; every configuration
+//! produces bit-identical sorted output (and identical stable order in the
+//! pairs sorts), which the property suite checks against `sort_unstable`.
 
-use rayon::prelude::*;
+use std::ops::Range;
 
+use crate::histogram::{count_digits_into, PaddedCounts};
 use crate::key::RadixKey;
 use crate::seq::{passes_for, DEFAULT_RADIX_BITS};
 use crate::shared::SharedSlice;
+use crate::steal::ChunkQueue;
 
-/// Configuration for [`par_radix_sort_with`].
-#[derive(Debug, Clone)]
+/// Digit widths above this skip the fused-histogram path: the per-worker
+/// next-pass count matrices stop fitting in cache and the fused read's
+/// global rows stop paying for themselves.
+const MAX_FUSED_RADIX_BITS: u32 = 12;
+
+/// Per-worker next-pass count matrices larger than this many counters fall
+/// back to per-pass counting even when fusion is on.
+const MAX_FUSED_NH_WORDS: usize = 1 << 18;
+
+/// Largest accepted per-bucket staging buffer. Buffers beyond this stop
+/// fitting in cache, which defeats write coalescing.
+pub const MAX_COALESCE_BYTES: usize = 1 << 20;
+
+/// Configuration for [`par_radix_sort_with`] and
+/// [`crate::pairs::par_radix_sort_pairs_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RadixSortConfig {
     /// Digit width in bits (1..=16).
     pub radix_bits: u32,
-    /// Number of parallel chunks; `None` = number of rayon threads.
+    /// Number of parallel workers; `None` = number of rayon threads.
     pub chunks: Option<usize>,
     /// Below this length, fall back to the sequential sort (parallel
     /// overhead doesn't pay off).
     pub sequential_cutoff: usize,
+    /// Per-bucket staging-buffer size in bytes for the write-coalescing
+    /// permute; `None` selects the direct-scatter permute (one write per
+    /// element, the pre-coalescing behaviour).
+    pub coalesce_bytes: Option<usize>,
+    /// Drain the counting and permute phases through a work-stealing chunk
+    /// queue instead of static partitioning.
+    pub work_stealing: bool,
+    /// Chunks per worker when `work_stealing` is on: the over-partitioning
+    /// factor that gives thieves something to take.
+    pub steal_granularity: usize,
+    /// Count all passes' digits in one fused read pass (enables trivial
+    /// pass skipping) and count the next pass's digits during each permute
+    /// (eliminates per-pass re-reads).
+    pub fused_histogram: bool,
 }
 
 impl Default for RadixSortConfig {
     fn default() -> Self {
-        RadixSortConfig { radix_bits: DEFAULT_RADIX_BITS, chunks: None, sequential_cutoff: 1 << 13 }
+        RadixSortConfig {
+            radix_bits: DEFAULT_RADIX_BITS,
+            chunks: None,
+            sequential_cutoff: 1 << 13,
+            coalesce_bytes: Some(1024),
+            work_stealing: true,
+            steal_granularity: 4,
+            fused_histogram: true,
+        }
     }
 }
 
-/// Half-open range of chunk `i` when `n` elements are split into `t` chunks.
-#[inline]
-fn chunk_range(n: usize, t: usize, i: usize) -> std::ops::Range<usize> {
-    (i * n / t)..((i + 1) * n / t)
+impl RadixSortConfig {
+    /// The correctness-grade configuration this library shipped before the
+    /// speed work: static partitioning, direct scatter, one counting pass
+    /// per digit. Kept selectable as the baseline the benchmarks compare
+    /// against.
+    pub fn simple() -> Self {
+        RadixSortConfig {
+            coalesce_bytes: None,
+            work_stealing: false,
+            steal_granularity: 1,
+            fused_histogram: false,
+            ..RadixSortConfig::default()
+        }
+    }
+
+    /// Check the configuration before any thread or buffer is created,
+    /// naming the offending field — mirrors `ExpConfig::validate` on the
+    /// simulator side. A valid configuration sorts identically with or
+    /// without the check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.radix_bits == 0 {
+            return Err("radix_bits = 0: each pass must consume at least one bit".to_string());
+        }
+        if self.radix_bits > 16 {
+            return Err(format!(
+                "radix_bits = {}: digit widths above 16 need histograms past the \
+                 L2-resident sizes this sort is tuned for",
+                self.radix_bits
+            ));
+        }
+        if self.chunks == Some(0) {
+            return Err("chunks = 0: at least one worker is required (None = one \
+                        per rayon thread)"
+                .to_string());
+        }
+        match self.coalesce_bytes {
+            Some(0) => {
+                return Err("coalesce_bytes = 0: a zero-sized staging buffer cannot \
+                            hold a key; use None for the direct-scatter permute"
+                    .to_string())
+            }
+            Some(b) if b > MAX_COALESCE_BYTES => {
+                return Err(format!(
+                    "coalesce_bytes = {b}: staging buffers above {MAX_COALESCE_BYTES} \
+                     bytes per bucket stop fitting in cache, which defeats write \
+                     coalescing"
+                ))
+            }
+            _ => {}
+        }
+        if self.steal_granularity == 0 {
+            return Err("steal_granularity = 0: the work-stealing queue needs at \
+                        least one chunk per worker"
+                .to_string());
+        }
+        Ok(())
+    }
 }
 
 /// Sort `keys` in parallel with the default configuration.
@@ -44,69 +159,493 @@ pub fn par_radix_sort<K: RadixKey + Default>(keys: &mut [K]) {
 
 /// Sort `keys` in parallel with an explicit configuration.
 pub fn par_radix_sort_with<K: RadixKey + Default>(keys: &mut [K], cfg: &RadixSortConfig) {
-    assert!((1..=16).contains(&cfg.radix_bits), "radix_bits out of range");
-    let n = keys.len();
-    if n <= cfg.sequential_cutoff.max(1) {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid RadixSortConfig: {e}");
+    }
+    if keys.len() <= cfg.sequential_cutoff.max(1) {
         crate::seq::radix_sort(keys, cfg.radix_bits);
         return;
     }
-    let t = cfg.chunks.unwrap_or_else(rayon::current_num_threads).clamp(1, n);
+    sort_engine::<K, (), false>(keys, &mut [], cfg);
+}
+
+/// Fixed-stride chunk geometry: stride is a power of two so the permute can
+/// map an output position to its destination chunk with one shift (the
+/// fused next-pass counters are indexed by destination chunk).
+#[derive(Clone, Copy)]
+struct ChunkGeom {
+    q_shift: u32,
+    m: usize,
+    n: usize,
+}
+
+impl ChunkGeom {
+    fn new(n: usize, target_chunks: usize) -> Self {
+        let q = n.div_ceil(target_chunks.max(1)).next_power_of_two().max(1);
+        ChunkGeom { q_shift: q.trailing_zeros(), m: n.div_ceil(q).max(1), n }
+    }
+
+    fn chunks(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    fn range(&self, c: usize) -> Range<usize> {
+        (c << self.q_shift)..self.end_of(c)
+    }
+
+    #[inline]
+    fn chunk_of(&self, pos: usize) -> usize {
+        pos >> self.q_shift
+    }
+
+    #[inline]
+    fn end_of(&self, c: usize) -> usize {
+        ((c + 1) << self.q_shift).min(self.n)
+    }
+}
+
+/// How a phase runs: chunk geometry, worker count, steal or static.
+#[derive(Clone, Copy)]
+struct Exec {
+    geom: ChunkGeom,
+    workers: usize,
+    steal: bool,
+}
+
+/// Everything a permute worker needs, shared read-only across workers.
+struct PermuteCtx<'a, K, V> {
+    src_k: &'a [K],
+    src_v: &'a [V],
+    out_k: SharedSlice<'a, K>,
+    out_v: SharedSlice<'a, V>,
+    geom: ChunkGeom,
+    shift: u32,
+    mask: u64,
+    bins: usize,
+    /// Shift of the next executed pass whose per-chunk histograms this
+    /// permute computes on the fly; `None` = don't count during permute.
+    next_shift: Option<u32>,
+}
+
+/// Per-worker write-coalescing staging: `elems` keys (and payloads) per
+/// bucket, flushed as one contiguous block when full and at chunk ends.
+struct Stage<K, V> {
+    kbuf: Vec<K>,
+    vbuf: Vec<V>,
+    fill: Vec<u32>,
+    elems: usize,
+}
+
+impl<K: Copy + Default, V: Copy + Default> Stage<K, V> {
+    fn new(bins: usize, elems: usize, with_vals: bool) -> Self {
+        Stage {
+            kbuf: vec![K::default(); bins * elems],
+            vbuf: if with_vals { vec![V::default(); bins * elems] } else { Vec::new() },
+            fill: vec![0u32; bins],
+            elems,
+        }
+    }
+}
+
+/// The shared engine behind [`par_radix_sort_with`] (V = `()`, no payload
+/// lane) and `par_radix_sort_pairs_with` (`WITH_VALS = true`). Stable for
+/// any configuration: within a chunk, keys are staged and flushed in input
+/// order to consecutive positions; across chunks, the digit-major rank
+/// construction orders lower chunk ids first.
+pub(crate) fn sort_engine<K, V, const WITH_VALS: bool>(
+    keys: &mut [K],
+    vals: &mut [V],
+    cfg: &RadixSortConfig,
+) where
+    K: RadixKey + Default,
+    V: Copy + Send + Sync + Default,
+{
+    let n = keys.len();
+    debug_assert!(n > 1, "engine callers handle the trivial sizes");
     let bins = 1usize << cfg.radix_bits;
     let mask = (bins - 1) as u64;
-    let passes = passes_for::<K>(cfg.radix_bits);
-    let mut scratch = vec![K::default(); n];
+    let total_passes = passes_for::<K>(cfg.radix_bits) as usize;
+    let workers = cfg.chunks.unwrap_or_else(default_workers).clamp(1, n);
+    let target_chunks =
+        if cfg.work_stealing { workers.saturating_mul(cfg.steal_granularity) } else { workers };
+    let exec = Exec { geom: ChunkGeom::new(n, target_chunks), workers, steal: cfg.work_stealing };
+    let m = exec.geom.chunks();
+
+    let fused = cfg.fused_histogram && cfg.radix_bits <= MAX_FUSED_RADIX_BITS;
+    // Counting the next pass during a permute needs one m × bins matrix per
+    // worker; past the cache budget the re-read is cheaper than the misses.
+    // It also needs the staging buffers: counting at flush time walks keys
+    // that are already cache-hot in blocks, whereas counting inside the
+    // direct scatter loop adds a row lookup to every single element.
+    let count_during_permute =
+        fused && cfg.coalesce_bytes.is_some() && m * bins <= MAX_FUSED_NH_WORDS;
+
+    let mut key_scratch = vec![K::default(); n];
+    let mut val_scratch: Vec<V> = if WITH_VALS { vec![V::default(); n] } else { Vec::new() };
+
+    let mut chunk_hists = PaddedCounts::new(m, bins);
+    let mut offsets = PaddedCounts::new(m, bins);
+
+    // Pass schedule. In fused mode one read pass yields every pass's global
+    // histogram (permutation-invariant, so valid for the whole sort): a
+    // pass whose keys all share one digit is an identity permutation and is
+    // skipped without ever being read again. The same read fills the
+    // per-chunk histograms for pass 0, valid while no permute has moved
+    // anything.
+    let mut skip = vec![false; total_passes];
+    let mut have_hists: Option<usize> = None;
+    if fused {
+        let globals = run_fused_count(keys, exec, cfg.radix_bits, total_passes, &mut chunk_hists);
+        for (pass, hist) in globals.iter().enumerate() {
+            skip[pass] = hist.contains(&n);
+        }
+        if !skip[0] {
+            have_hists = Some(0);
+        }
+    }
 
     let mut flipped = false;
-    for pass in 0..passes {
-        let shift = pass * cfg.radix_bits;
-        let (src, dst): (&[K], &mut [K]) =
-            if flipped { (&*scratch, &mut *keys) } else { (&*keys, &mut *scratch) };
+    for pass in 0..total_passes {
+        if skip[pass] {
+            continue;
+        }
+        let shift = pass as u32 * cfg.radix_bits;
+        let (src_k, dst_k): (&[K], &mut [K]) =
+            if flipped { (&key_scratch, keys) } else { (keys, &mut key_scratch) };
+        let (src_v, dst_v): (&[V], &mut [V]) =
+            if flipped { (&val_scratch, vals) } else { (vals, &mut val_scratch) };
 
-        // Phase 1: per-chunk histograms, in parallel.
-        let hists: Vec<Vec<usize>> = (0..t)
-            .into_par_iter()
-            .map(|c| {
-                let mut h = vec![0usize; bins];
-                for k in &src[chunk_range(n, t, c)] {
-                    h[k.digit(shift, mask)] += 1;
-                }
-                h
-            })
-            .collect();
-
-        // Phase 2: global ranks. offset[c][d] = start of chunk c's digit-d
-        // keys in the output = (total of smaller digits) + (digit-d keys of
-        // earlier chunks).
-        let mut offsets = vec![vec![0usize; bins]; t];
-        {
-            let mut acc = 0usize;
-            for d in 0..bins {
-                for c in 0..t {
-                    offsets[c][d] = acc;
-                    acc += hists[c][d];
-                }
-            }
-            debug_assert_eq!(acc, n);
+        if have_hists != Some(pass) {
+            run_count(src_k, exec, shift, mask, &mut chunk_hists);
+            have_hists = Some(pass);
+        }
+        let trivial = build_offsets(&chunk_hists, &mut offsets, n);
+        if trivial {
+            // Identity permutation discovered from the counts alone (only
+            // reachable without fusion; the fused schedule skips these
+            // before counting). Data stays in place; no flip.
+            debug_assert!(!fused);
+            continue;
         }
 
-        // Phase 3: parallel permutation through disjoint ranks.
-        let out = SharedSlice::new(dst);
-        offsets.par_iter_mut().enumerate().for_each(|(c, off)| {
-            for &k in &src[chunk_range(n, t, c)] {
-                let d = k.digit(shift, mask);
-                // SAFETY: ranks partition [0, n): chunk c's digit-d keys
-                // occupy [offset[c][d], offset[c][d] + hist[c][d]), and these
-                // intervals are pairwise disjoint across (c, d) by
-                // construction of the prefix sums above.
-                unsafe { out.write(off[d], k) };
-                off[d] += 1;
-            }
-        });
-
+        let next_exec = if count_during_permute {
+            ((pass + 1)..total_passes).find(|&p| !skip[p])
+        } else {
+            None
+        };
+        let ctx = PermuteCtx {
+            src_k,
+            src_v,
+            out_k: SharedSlice::new(dst_k),
+            out_v: SharedSlice::new(dst_v),
+            geom: exec.geom,
+            shift,
+            mask,
+            bins,
+            next_shift: next_exec.map(|p| p as u32 * cfg.radix_bits),
+        };
+        run_permute::<K, V, WITH_VALS>(&ctx, exec, cfg, &mut offsets, &mut chunk_hists);
+        if let Some(np) = next_exec {
+            have_hists = Some(np);
+        }
         flipped = !flipped;
     }
+
     if flipped {
-        keys.copy_from_slice(&scratch);
+        keys.copy_from_slice(&key_scratch);
+        if WITH_VALS {
+            vals.copy_from_slice(&val_scratch);
+        }
+    }
+}
+
+/// Worker count when the configuration leaves it to the machine.
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Run `f(0..workers)` on real OS threads and collect the results in
+/// worker order. `workers == 1` runs inline — the single-threaded
+/// configurations pay no spawn cost. The scope join is the fork/join
+/// barrier the `ChunkQueue` memory-ordering argument relies on.
+fn run_workers<T, F>(workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                s.spawn(move || f(w))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sort worker panicked")).collect()
+    })
+}
+
+/// Per-chunk digit counts for one pass, in parallel over the chunk queue.
+fn run_count<K: RadixKey>(
+    src: &[K],
+    exec: Exec,
+    shift: u32,
+    mask: u64,
+    chunk_hists: &mut PaddedCounts,
+) {
+    let shared = chunk_hists.shared();
+    let queue = ChunkQueue::new(exec.workers, exec.geom.chunks(), exec.steal);
+    run_workers(exec.workers, |w| {
+        while let Some(c) = queue.claim(w) {
+            // SAFETY: chunk ids are claimed exactly once per phase, so row
+            // `c` is touched by this worker only.
+            let row = unsafe { shared.row_mut(c) };
+            row.fill(0);
+            count_digits_into(&src[exec.geom.range(c)], shift, mask, row);
+        }
+    });
+}
+
+/// The fused read: per-chunk counts for pass 0 into `chunk_hists`, plus
+/// per-worker padded global counts for every later pass, reduced and
+/// returned as one global histogram per pass.
+fn run_fused_count<K: RadixKey>(
+    src: &[K],
+    exec: Exec,
+    radix_bits: u32,
+    passes: usize,
+    chunk_hists: &mut PaddedCounts,
+) -> Vec<Vec<usize>> {
+    let bins = 1usize << radix_bits;
+    let mask = (bins - 1) as u64;
+    let shared = chunk_hists.shared();
+    let queue = ChunkQueue::new(exec.workers, exec.geom.chunks(), exec.steal);
+    // L1-blocked, pass-major: each block is counted once per pass through
+    // the unrolled counter while it is still cache-hot, so the fused read
+    // costs the same instructions as `passes` separate count loops but
+    // makes only one trip through memory.
+    const FUSED_BLOCK: usize = 2048;
+    let parts: Vec<PaddedCounts> = run_workers(exec.workers, |w| {
+        let mut high = PaddedCounts::new(passes.saturating_sub(1), bins);
+        while let Some(c) = queue.claim(w) {
+            // SAFETY: chunk ids are claimed exactly once per phase.
+            let row0 = unsafe { shared.row_mut(c) };
+            row0.fill(0);
+            for block in src[exec.geom.range(c)].chunks(FUSED_BLOCK) {
+                count_digits_into(block, 0, mask, row0);
+                for p in 1..passes {
+                    count_digits_into(block, p as u32 * radix_bits, mask, high.row_mut(p - 1));
+                }
+            }
+        }
+        high
+    });
+
+    let mut globals = vec![vec![0usize; bins]; passes];
+    for c in 0..exec.geom.chunks() {
+        for (g, h) in globals[0].iter_mut().zip(chunk_hists.row(c)) {
+            *g += h;
+        }
+    }
+    for part in &parts {
+        for (p, global) in globals.iter_mut().enumerate().skip(1) {
+            for (g, h) in global.iter_mut().zip(part.row(p - 1)) {
+                *g += h;
+            }
+        }
+    }
+    globals
+}
+
+/// Global ranks from per-chunk counts, digit-major: `offset[c][d]` = keys
+/// of smaller digits anywhere + digit-`d` keys of chunks before `c`.
+/// Returns true when one digit holds every key (identity permutation).
+fn build_offsets(chunk_hists: &PaddedCounts, offsets: &mut PaddedCounts, n: usize) -> bool {
+    let m = chunk_hists.rows();
+    let bins = chunk_hists.bins();
+    let mut acc = 0usize;
+    let mut trivial = false;
+    for d in 0..bins {
+        let before = acc;
+        for c in 0..m {
+            offsets.row_mut(c)[d] = acc;
+            acc += chunk_hists.row(c)[d];
+        }
+        if acc - before == n {
+            trivial = true;
+        }
+    }
+    debug_assert_eq!(acc, n);
+    trivial
+}
+
+/// One parallel permute pass over the chunk queue. When
+/// `ctx.next_shift` is set, each worker also histograms the next pass's
+/// digits of every key it writes — by *destination* chunk, so the counts
+/// describe the array layout the next pass will read — and the per-worker
+/// matrices are reduced into `chunk_hists`.
+fn run_permute<K, V, const WITH_VALS: bool>(
+    ctx: &PermuteCtx<'_, K, V>,
+    exec: Exec,
+    cfg: &RadixSortConfig,
+    offsets: &mut PaddedCounts,
+    chunk_hists: &mut PaddedCounts,
+) where
+    K: RadixKey + Default,
+    V: Copy + Send + Sync + Default,
+{
+    let m = ctx.geom.chunks();
+    let off_shared = offsets.shared();
+    let queue = ChunkQueue::new(exec.workers, m, exec.steal);
+    let buf_elems = cfg.coalesce_bytes.map(|b| (b / std::mem::size_of::<K>()).max(1));
+    let parts: Vec<PaddedCounts> = run_workers(exec.workers, |w| {
+        let mut nh = match ctx.next_shift {
+            Some(_) => PaddedCounts::new(m, ctx.bins),
+            None => PaddedCounts::new(0, 0),
+        };
+        let mut stage = buf_elems.map(|e| Stage::<K, V>::new(ctx.bins, e, WITH_VALS));
+        while let Some(c) = queue.claim(w) {
+            // SAFETY: chunk ids are claimed exactly once per phase, so
+            // offset row `c` is touched by this worker only.
+            let off = unsafe { off_shared.row_mut(c) };
+            match &mut stage {
+                Some(st) => permute_chunk_coalesced::<K, V, WITH_VALS>(
+                    ctx,
+                    ctx.geom.range(c),
+                    off,
+                    st,
+                    &mut nh,
+                ),
+                None => {
+                    permute_chunk_direct::<K, V, WITH_VALS>(ctx, ctx.geom.range(c), off, &mut nh)
+                }
+            }
+        }
+        nh
+    });
+
+    if ctx.next_shift.is_some() {
+        chunk_hists.clear();
+        for part in &parts {
+            chunk_hists.accumulate(part);
+        }
+    }
+}
+
+/// Permute one chunk through the write-coalescing stage.
+fn permute_chunk_coalesced<K, V, const WITH_VALS: bool>(
+    ctx: &PermuteCtx<'_, K, V>,
+    range: Range<usize>,
+    off: &mut [usize],
+    stage: &mut Stage<K, V>,
+    nh: &mut PaddedCounts,
+) where
+    K: RadixKey,
+    V: Copy,
+{
+    let e = stage.elems;
+    let start = range.start;
+    for (j, k) in ctx.src_k[range].iter().copied().enumerate() {
+        let d = k.digit(ctx.shift, ctx.mask);
+        // SAFETY: `d <= mask < bins`, `fill.len() == bins`, and the
+        // invariant `fill[d] < elems` (restored by the flush below the
+        // moment a bucket becomes full) keeps `d * e + f` inside the
+        // `bins * elems` buffers.
+        let f = unsafe {
+            let f = *stage.fill.get_unchecked(d) as usize;
+            *stage.kbuf.get_unchecked_mut(d * e + f) = k;
+            if WITH_VALS {
+                *stage.vbuf.get_unchecked_mut(d * e + f) = ctx.src_v[start + j];
+            }
+            *stage.fill.get_unchecked_mut(d) = (f + 1) as u32;
+            f
+        };
+        if f + 1 == e {
+            flush_digit::<K, V, WITH_VALS>(ctx, stage, d, off, nh);
+        }
+    }
+    // Chunk boundary: later chunks' digit ranks follow this chunk's, so
+    // every partial buffer must land before another chunk's permute may
+    // claim those positions — and the stage is reused for the next chunk,
+    // whose offset row differs.
+    for d in 0..ctx.bins {
+        if stage.fill[d] > 0 {
+            flush_digit::<K, V, WITH_VALS>(ctx, stage, d, off, nh);
+        }
+    }
+}
+
+/// Flush bucket `d`: one contiguous block store of the staged keys (and
+/// payloads), plus the next-pass digit counts of the flushed elements,
+/// binned by destination chunk.
+#[inline]
+fn flush_digit<K, V, const WITH_VALS: bool>(
+    ctx: &PermuteCtx<'_, K, V>,
+    stage: &mut Stage<K, V>,
+    d: usize,
+    off: &mut [usize],
+    nh: &mut PaddedCounts,
+) where
+    K: RadixKey,
+    V: Copy,
+{
+    let len = stage.fill[d] as usize;
+    let e = stage.elems;
+    let base = off[d];
+    let kseg = &stage.kbuf[d * e..d * e + len];
+    // SAFETY: [base, base + len) lies inside this chunk's digit-d rank
+    // interval; the intervals are pairwise disjoint across (chunk, digit)
+    // by construction of the prefix sums in `build_offsets`.
+    unsafe { ctx.out_k.write_slice(base, kseg) };
+    if WITH_VALS {
+        unsafe { ctx.out_v.write_slice(base, &stage.vbuf[d * e..d * e + len]) };
+    }
+    if let Some(next_shift) = ctx.next_shift {
+        // A flushed block spans at most a few destination chunks; count
+        // each contiguous segment into its chunk's row.
+        let mut idx = 0usize;
+        while idx < len {
+            let c = ctx.geom.chunk_of(base + idx);
+            let seg_end = len.min(ctx.geom.end_of(c) - base);
+            count_digits_into(&kseg[idx..seg_end], next_shift, ctx.mask, nh.row_mut(c));
+            idx = seg_end;
+        }
+    }
+    off[d] = base + len;
+    stage.fill[d] = 0;
+}
+
+/// Permute one chunk with one write per element — the pre-coalescing
+/// behaviour, kept selectable (`coalesce_bytes: None`) as the measured
+/// baseline.
+fn permute_chunk_direct<K, V, const WITH_VALS: bool>(
+    ctx: &PermuteCtx<'_, K, V>,
+    range: Range<usize>,
+    off: &mut [usize],
+    nh: &mut PaddedCounts,
+) where
+    K: RadixKey,
+    V: Copy,
+{
+    for i in range {
+        let k = ctx.src_k[i];
+        let d = k.digit(ctx.shift, ctx.mask);
+        let pos = off[d];
+        // SAFETY: ranks partition [0, n) disjointly across (chunk, digit);
+        // see `build_offsets`.
+        unsafe {
+            ctx.out_k.write(pos, k);
+            if WITH_VALS {
+                ctx.out_v.write(pos, ctx.src_v[i]);
+            }
+        }
+        off[d] = pos + 1;
+        if let Some(next_shift) = ctx.next_shift {
+            nh.row_mut(ctx.geom.chunk_of(pos))[k.digit(next_shift, ctx.mask)] += 1;
+        }
     }
 }
 
@@ -121,6 +660,19 @@ mod tests {
         expect.sort_unstable();
         par_radix_sort_with(&mut v, cfg);
         assert_eq!(v, expect);
+    }
+
+    /// Every mechanism toggle, for the cross-config sweeps below.
+    fn all_configs() -> Vec<RadixSortConfig> {
+        let base = RadixSortConfig { sequential_cutoff: 0, ..RadixSortConfig::default() };
+        vec![
+            RadixSortConfig { sequential_cutoff: 0, ..RadixSortConfig::simple() },
+            RadixSortConfig { coalesce_bytes: None, work_stealing: true, ..base.clone() },
+            RadixSortConfig { coalesce_bytes: Some(64), work_stealing: false, ..base.clone() },
+            RadixSortConfig { coalesce_bytes: Some(4), fused_histogram: false, ..base.clone() },
+            RadixSortConfig { coalesce_bytes: Some(1024), steal_granularity: 3, ..base.clone() },
+            base,
+        ]
     }
 
     #[test]
@@ -160,7 +712,7 @@ mod tests {
 
     #[test]
     fn sorts_skewed_inputs() {
-        // All equal.
+        // All equal: with fusion every pass is trivial and skipped.
         check_sort(vec![42u32; 30_000], &RadixSortConfig { sequential_cutoff: 0, ..Default::default() });
         // Already sorted / reversed.
         check_sort((0..30_000u32).collect(), &RadixSortConfig { sequential_cutoff: 0, ..Default::default() });
@@ -179,5 +731,85 @@ mod tests {
             v,
             &RadixSortConfig { chunks: Some(1000), sequential_cutoff: 0, ..Default::default() },
         );
+    }
+
+    #[test]
+    fn every_config_sorts_every_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let shapes: Vec<Vec<u32>> = vec![
+            (0..40_000).map(|_| rng.random()).collect(),
+            (0..40_000).map(|_| rng.random_range(0..8u32)).collect(),
+            (0..40_000u32).collect(),
+            // Keys confined to the low 16 bits: the two high passes are
+            // trivial and the fused path must skip them.
+            (0..40_000).map(|_| rng.random_range(0..u16::MAX as u32)).collect(),
+        ];
+        for cfg in all_configs() {
+            for shape in &shapes {
+                check_sort(shape.clone(), &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn simple_and_default_agree_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let v: Vec<u64> = (0..50_000).map(|_| rng.random::<u64>() & 0xFFFF_FFFF).collect();
+        let mut a = v.clone();
+        let mut b = v;
+        par_radix_sort_with(&mut a, &RadixSortConfig { sequential_cutoff: 0, ..RadixSortConfig::simple() });
+        par_radix_sort_with(&mut b, &RadixSortConfig { sequential_cutoff: 0, ..Default::default() });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        let ok = RadixSortConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(RadixSortConfig::simple().validate().is_ok());
+        let cases: Vec<(RadixSortConfig, &str)> = vec![
+            (RadixSortConfig { radix_bits: 0, ..ok.clone() }, "radix_bits = 0"),
+            (RadixSortConfig { radix_bits: 17, ..ok.clone() }, "radix_bits = 17"),
+            (RadixSortConfig { chunks: Some(0), ..ok.clone() }, "chunks = 0"),
+            (RadixSortConfig { coalesce_bytes: Some(0), ..ok.clone() }, "coalesce_bytes = 0"),
+            (
+                RadixSortConfig { coalesce_bytes: Some(MAX_COALESCE_BYTES + 1), ..ok.clone() },
+                "coalesce_bytes =",
+            ),
+            (RadixSortConfig { steal_granularity: 0, ..ok.clone() }, "steal_granularity = 0"),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().expect_err("config must be rejected");
+            assert!(err.contains(needle), "error {err:?} does not name {needle:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RadixSortConfig")]
+    fn sort_rejects_degenerate_config() {
+        let mut v = vec![3u32, 1, 2];
+        par_radix_sort_with(
+            &mut v,
+            &RadixSortConfig { coalesce_bytes: Some(0), ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn chunk_geometry_partitions_exactly() {
+        for (n, target) in [(10usize, 3usize), (1, 1), (100, 7), (1 << 16, 64), (65, 64), (7, 100)]
+        {
+            let g = ChunkGeom::new(n, target);
+            let mut covered = 0usize;
+            for c in 0..g.chunks() {
+                let r = g.range(c);
+                assert_eq!(r.start, covered, "n={n} target={target} chunk={c}");
+                assert!(!r.is_empty(), "empty chunk {c} for n={n} target={target}");
+                for pos in r.clone() {
+                    assert_eq!(g.chunk_of(pos), c);
+                }
+                covered = r.end;
+            }
+            assert_eq!(covered, n);
+        }
     }
 }

@@ -52,6 +52,30 @@ impl<'a, T> SharedSlice<'a, T> {
         unsafe { self.ptr.add(index).write(value) };
     }
 
+    /// Write `src` contiguously starting at `index` — the coalesced-flush
+    /// primitive: one bounds-checked `copy_nonoverlapping` emits a full
+    /// staged block as consecutive stores instead of scattered single
+    /// writes.
+    ///
+    /// # Safety
+    ///
+    /// * `index + src.len() <= len()` (checked in debug builds), and
+    /// * no other thread reads or writes `index..index + src.len()`
+    ///   concurrently.
+    #[inline]
+    pub unsafe fn write_slice(&self, index: usize, src: &[T])
+    where
+        T: Copy,
+    {
+        debug_assert!(
+            index + src.len() <= self.len,
+            "SharedSlice block write out of bounds: {index}+{} > {}",
+            src.len(),
+            self.len
+        );
+        unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(index), src.len()) };
+    }
+
     /// Read the value at `index`.
     ///
     /// # Safety
@@ -88,6 +112,27 @@ mod tests {
                     while i < n {
                         unsafe { shared.write(i, i as u32) };
                         i += threads;
+                    }
+                });
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn block_writes_land_contiguously() {
+        let n = 1024;
+        let mut out = vec![0u32; n];
+        let shared = SharedSlice::new(&mut out);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let shared = &shared;
+                s.spawn(move || {
+                    // Thread t owns [t*256, (t+1)*256), written as 8 blocks.
+                    for b in 0..8 {
+                        let base = t * 256 + b * 32;
+                        let block: Vec<u32> = (base..base + 32).map(|i| i as u32).collect();
+                        unsafe { shared.write_slice(base, &block) };
                     }
                 });
             }

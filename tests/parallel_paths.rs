@@ -1,0 +1,143 @@
+//! Deterministic coverage of the speed-grade parallel radix paths —
+//! write-coalescing staging, the work-stealing chunk queue, and fused
+//! multi-digit histogramming — sized for the curated ThreadSanitizer CI
+//! tier: real threads, real contention, no proptest shrinking loops.
+//!
+//! Every sort here runs with `sequential_cutoff: 0` so the parallel engine
+//! (not the sequential fallback) is what TSan instruments.
+
+use ccsort::parallel::pairs::{par_radix_sort_pairs_with, radix_sort_pairs};
+use ccsort::parallel::{par_radix_sort_with, ChunkQueue, RadixSortConfig};
+
+/// Deterministic keys (splitmix64) — the same arrays on every run, so a
+/// TSan report here is always reproducible.
+fn keys(n: usize, seed: u64) -> Vec<u32> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) as u32
+        })
+        .collect()
+}
+
+/// The mechanism grid: every combination that takes a distinct code path
+/// through the engine, at worker counts that force contention (more
+/// workers than cores on any CI machine) including non-powers of two.
+fn configs() -> Vec<RadixSortConfig> {
+    let base = RadixSortConfig { sequential_cutoff: 0, ..RadixSortConfig::default() };
+    vec![
+        RadixSortConfig { sequential_cutoff: 0, ..RadixSortConfig::simple() },
+        // Stealing without coalescing: direct scatter through the queue.
+        RadixSortConfig { coalesce_bytes: None, chunks: Some(7), ..base.clone() },
+        // Coalescing without stealing: static regions, staged flushes.
+        RadixSortConfig { work_stealing: false, chunks: Some(5), ..base.clone() },
+        // Tiny staging buffers: flush on (almost) every element.
+        RadixSortConfig { coalesce_bytes: Some(4), chunks: Some(6), ..base.clone() },
+        // Fused histogramming off: per-pass counting under stealing.
+        RadixSortConfig { fused_histogram: false, chunks: Some(13), ..base.clone() },
+        // Everything on, fine-grained stealing.
+        RadixSortConfig { chunks: Some(11), steal_granularity: 4, ..base },
+    ]
+}
+
+#[test]
+fn every_engine_path_sorts_uniform_keys() {
+    let input = keys(60_000, 1);
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    for cfg in configs() {
+        let mut v = input.clone();
+        par_radix_sort_with(&mut v, &cfg);
+        assert_eq!(v, expect, "diverged under {cfg:?}");
+    }
+}
+
+#[test]
+fn every_engine_path_sorts_skewed_keys() {
+    // One dominant bucket (zipf-like worst case for static partitioning)
+    // plus a uniform tail; all passes above the first are near-trivial.
+    let mut input = keys(60_000, 2);
+    for (i, k) in input.iter_mut().enumerate() {
+        if i % 4 != 0 {
+            *k = 0xAB00 + (i % 7) as u32;
+        }
+    }
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    for cfg in configs() {
+        let mut v = input.clone();
+        par_radix_sort_with(&mut v, &cfg);
+        assert_eq!(v, expect, "diverged under {cfg:?}");
+    }
+}
+
+#[test]
+fn every_engine_path_keeps_pairs_stable() {
+    // 16 distinct keys, payload = original index: the unique stable order
+    // catches any equal-key reordering from staging or stealing.
+    let input: Vec<u32> = keys(40_000, 3).iter().map(|k| k & 15).collect();
+    let vals: Vec<u32> = (0..input.len() as u32).collect();
+    let (mut ks, mut vs) = (input.clone(), vals.clone());
+    radix_sort_pairs(&mut ks, &mut vs, 8);
+    for cfg in configs() {
+        let (mut k, mut v) = (input.clone(), vals.clone());
+        par_radix_sort_pairs_with(&mut k, &mut v, &cfg);
+        assert_eq!(k, ks, "keys diverged under {cfg:?}");
+        assert_eq!(v, vs, "stability broken under {cfg:?}");
+    }
+}
+
+#[test]
+fn chunk_queue_contended_claims_are_exactly_once() {
+    // Heavier-than-unit-test contention for the TSan tier: many workers
+    // hammering a small region set, repeated to vary interleavings.
+    for round in 0..8u64 {
+        let workers = 2 + (round as usize % 7);
+        let chunks = 96;
+        let q = ChunkQueue::new(workers, chunks, true);
+        let counts: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut seen = vec![false; chunks];
+                        while let Some(c) = q.claim(w) {
+                            assert!(!seen[c], "worker {w} claimed {c} twice");
+                            seen[c] = true;
+                        }
+                        seen.iter().filter(|&&b| b).count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), chunks, "round {round}");
+        assert_eq!(q.remaining(), 0);
+    }
+}
+
+#[test]
+fn wide_digit_and_u64_paths() {
+    // 12-bit digits stay on the fused path; 16-bit digits take the
+    // per-pass fallback. Both under stealing with real threads.
+    let input: Vec<u64> = keys(40_000, 4).iter().map(|&k| (k as u64) << 13 | k as u64).collect();
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    for bits in [12u32, 16] {
+        let mut v = input.clone();
+        par_radix_sort_with(
+            &mut v,
+            &RadixSortConfig {
+                radix_bits: bits,
+                chunks: Some(6),
+                sequential_cutoff: 0,
+                ..RadixSortConfig::default()
+            },
+        );
+        assert_eq!(v, expect, "diverged at radix_bits={bits}");
+    }
+}

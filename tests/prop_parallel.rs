@@ -3,11 +3,67 @@
 //! identical to the standard library's.
 
 use ccsort::parallel::msg::radix_sort_msg;
+use ccsort::parallel::pairs::{par_radix_sort_pairs_with, radix_sort_pairs};
 use ccsort::parallel::sym::radix_sort_shmem;
 use ccsort::parallel::{
     par_radix_sort_with, par_sample_sort_with, seq_radix_sort, RadixSortConfig, SampleSortConfig,
 };
 use proptest::prelude::*;
+
+/// Build a `RadixSortConfig` covering the whole mechanism space —
+/// coalescing buffer size (including none and sub-cache-line sizes), work
+/// stealing with varying granularity, fused histogramming, digit width,
+/// and non-power-of-two worker counts — from sampled scalars.
+fn build_config(
+    radix_bits: u32,
+    chunks: usize,
+    coalesce_sel: usize,
+    work_stealing: bool,
+    steal_granularity: usize,
+    fused_histogram: bool,
+) -> RadixSortConfig {
+    let coalesce_bytes = [None, Some(4), Some(64), Some(256), Some(1024)][coalesce_sel % 5];
+    RadixSortConfig {
+        radix_bits,
+        chunks: Some(chunks),
+        sequential_cutoff: 0,
+        coalesce_bytes,
+        work_stealing,
+        steal_granularity,
+        fused_histogram,
+    }
+}
+
+/// Build an input that stresses the new paths: 0 = uniform, 1 = zipf-like
+/// skew (a hot value dominating one radix bucket plus a tail), 2 =
+/// duplicate-heavy (8 distinct values), 3 = nearly sorted.
+fn build_input(shape: usize, n: usize, seed: u64) -> Vec<u32> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) as u32
+    };
+    match shape % 4 {
+        0 => (0..n).map(|_| next()).collect(),
+        1 => (0..n)
+            .map(|_| match next() % 7 {
+                0..=3 => 0xDEAD_BEEF,
+                4 | 5 => next() % 16,
+                _ => next(),
+            })
+            .collect(),
+        2 => (0..n).map(|_| next() % 8).collect(),
+        _ => {
+            let mut v: Vec<u32> = (0..n as u32).collect();
+            for _ in 0..n / 50 {
+                let i = next() as usize % n.max(1);
+                let j = next() as usize % n.max(1);
+                v.swap(i, j);
+            }
+            v
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -40,6 +96,7 @@ proptest! {
             radix_bits: bits,
             chunks: Some(chunks),
             sequential_cutoff: 0,
+            ..Default::default()
         });
         prop_assert_eq!(v, expect);
     }
@@ -124,6 +181,71 @@ proptest! {
         expect.sort_unstable();
         radix_sort_shmem(&mut v, p, bits);
         prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_radix_any_config_matches_std(
+        shape in 0usize..4,
+        n in 0usize..6000,
+        seed in any::<u64>(),
+        bits in 4u32..=12,
+        chunks in prop::sample::select(vec![1usize, 2, 3, 5, 7, 8, 13]),
+        coalesce_sel in 0usize..5,
+        ws in any::<bool>(),
+        gran in prop::sample::select(vec![1usize, 2, 8]),
+        fused in any::<bool>(),
+    ) {
+        // The coalesced, work-stealing, and fused paths (and every
+        // combination, including sub-cache-line staging buffers and
+        // non-power-of-two worker counts) are bit-identical to std.
+        let cfg = build_config(bits, chunks, coalesce_sel, ws, gran, fused);
+        let mut v = build_input(shape, n, seed);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_radix_sort_with(&mut v, &cfg);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_radix_pairs_any_config_stable(
+        shape in 0usize..4,
+        n in 0usize..4000,
+        seed in any::<u64>(),
+        bits in 4u32..=12,
+        chunks in prop::sample::select(vec![1usize, 2, 3, 5, 7, 8, 13]),
+        coalesce_sel in 0usize..5,
+        ws in any::<bool>(),
+        gran in prop::sample::select(vec![1usize, 2, 8]),
+        fused in any::<bool>(),
+    ) {
+        // Payloads record original positions, so the unique stable order
+        // doubles as the oracle: any scheduling- or buffering-induced
+        // reordering of equal keys would diverge from the sequential sort.
+        let cfg = build_config(bits, chunks, coalesce_sel, ws, gran, fused);
+        let keys = build_input(shape, n, seed);
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let (mut ks, mut vs) = (keys.clone(), vals.clone());
+        radix_sort_pairs(&mut ks, &mut vs, cfg.radix_bits);
+        let (mut kp, mut vp) = (keys, vals);
+        par_radix_sort_pairs_with(&mut kp, &mut vp, &cfg);
+        prop_assert_eq!(kp, ks);
+        prop_assert_eq!(vp, vs);
+    }
+
+    #[test]
+    fn simple_config_agrees_with_default(
+        shape in 0usize..4,
+        n in 0usize..4000,
+        seed in any::<u64>(),
+    ) {
+        let mut v = build_input(shape, n, seed);
+        let mut simple = v.clone();
+        par_radix_sort_with(
+            &mut simple,
+            &RadixSortConfig { sequential_cutoff: 0, ..RadixSortConfig::simple() },
+        );
+        par_radix_sort_with(&mut v, &RadixSortConfig { sequential_cutoff: 0, ..Default::default() });
+        prop_assert_eq!(v, simple);
     }
 
     #[test]
