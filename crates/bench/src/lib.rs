@@ -14,5 +14,6 @@ pub mod figures;
 pub mod hotpath;
 pub mod realbench;
 pub mod runner;
+pub mod svcbench;
 
 pub use runner::{Runner, RunnerOpts, SIZE_LABELS};

@@ -12,7 +12,7 @@
 //! | `divergent_barrier` | every PE reaches every barrier |
 //! | `untimed_outside_setup` | untimed data movement stays in setup/alloc phases |
 //! | `fastpath_without_equiv` | every fast path pairs with a sampled reference replay |
-//! | `float_reassociation` | f64 time accumulation order is explicit in machine/bench |
+//! | `float_reassociation` | f64 time accumulation order is explicit in machine/bench/service |
 //! | `nondeterministic_iteration` | no randomized-order collections in observable crates |
 //!
 //! ## Why not crates.io dylint

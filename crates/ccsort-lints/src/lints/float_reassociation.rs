@@ -32,15 +32,19 @@ impl Lint for FloatReassociation {
     }
 
     fn description(&self) -> &'static str {
-        "implicit-order f64 reduction (sum/fold) on timing values in machine/bench"
+        "implicit-order f64 reduction (sum/fold) on timing values in machine/bench/service"
     }
 
     fn applies_to(&self, rel_path: &str) -> bool {
         // steal.rs rides along: steal heuristics must never weigh remaining
         // work with implicitly-ordered float accumulation, or the chosen
         // victim (and the sort's memory traffic) varies run to run.
+        // crates/service too: flush decisions (and any future load-aware
+        // policy) must never hinge on implicitly-ordered float accumulation,
+        // or batch composition varies run to run.
         rel_path.starts_with("crates/machine/src/")
             || rel_path.starts_with("crates/bench/src/")
+            || rel_path.starts_with("crates/service/src/")
             || rel_path == "crates/parallel/src/steal.rs"
     }
 

@@ -2,7 +2,7 @@
 //! behaviour reaches observables.
 //!
 //! `std` hash collections iterate in randomized order (SipHash with a
-//! per-process seed). In `crates/{machine,core,models,bench}` — the crates
+//! per-process seed). In `crates/{machine,core,models,bench,service}` — the crates
 //! whose control flow decides simulated times, event counts, and emitted
 //! artefact order — any iteration over one is a nondeterminism bomb: it
 //! may pass every test locally and still reorder a golden file on another
@@ -24,16 +24,25 @@ impl Lint for NondeterministicIteration {
     }
 
     fn description(&self) -> &'static str {
-        "HashMap/HashSet in observable-affecting crates (machine, core, models, bench)"
+        "HashMap/HashSet in observable-affecting crates (machine, core, models, bench, service)"
     }
 
     fn applies_to(&self, rel_path: &str) -> bool {
         // steal.rs rides along: the work-stealing queue decides which worker
         // permutes which chunk, and any hash-ordered choice there would make
         // the victim-selection (and thus contention patterns) seed-dependent.
-        ["crates/machine/src/", "crates/core/src/", "crates/models/src/", "crates/bench/src/"]
-            .iter()
-            .any(|p| rel_path.starts_with(p))
+        // crates/service too: the batcher's claim order decides which requests
+        // share a batch, and the deterministic drain tests (and svcbench's
+        // coalescing measurements) rely on that order being reproducible.
+        [
+            "crates/machine/src/",
+            "crates/core/src/",
+            "crates/models/src/",
+            "crates/bench/src/",
+            "crates/service/src/",
+        ]
+        .iter()
+        .any(|p| rel_path.starts_with(p))
             || rel_path == "crates/parallel/src/steal.rs"
     }
 

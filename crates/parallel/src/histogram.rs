@@ -95,6 +95,22 @@ impl PaddedCounts {
         self.lines.fill(CacheLine::default());
     }
 
+    /// Reshape to `rows` × `bins` and zero every counter, reusing the
+    /// existing line buffer whenever it is large enough. Returns `true`
+    /// when the backing storage had to grow — the scratch-reuse entry
+    /// points count these to prove steady-state sorting allocates nothing.
+    pub fn reset(&mut self, rows: usize, bins: usize) -> bool {
+        let stride = bins.div_ceil(LINE_WORDS).max(1) * LINE_WORDS;
+        let need = rows * stride / LINE_WORDS;
+        let grew = need > self.lines.capacity();
+        self.lines.clear();
+        self.lines.resize(need, CacheLine::default());
+        self.stride = stride;
+        self.bins = bins;
+        self.rows = rows;
+        grew
+    }
+
     /// Add every counter of `other` (same shape) into `self`.
     pub fn accumulate(&mut self, other: &PaddedCounts) {
         assert_eq!((self.rows, self.bins), (other.rows, other.bins));

@@ -51,9 +51,13 @@ pub use key::RadixKey;
 pub use merge::par_merge_sort;
 pub use msd::{msd_radix_sort, par_msd_radix_sort};
 pub use pairs::{
-    par_radix_sort_by_key, par_radix_sort_pairs, par_radix_sort_pairs_with, radix_sort_pairs,
+    par_radix_sort_by_key, par_radix_sort_pairs, par_radix_sort_pairs_with,
+    par_radix_sort_pairs_with_scratch, radix_sort_pairs,
 };
-pub use radix::{par_radix_sort, par_radix_sort_with, RadixSortConfig, MAX_COALESCE_BYTES};
+pub use radix::{
+    par_radix_sort, par_radix_sort_with, par_radix_sort_with_scratch, RadixSortConfig, SortScratch,
+    MAX_COALESCE_BYTES,
+};
 pub use sample::{par_sample_sort, par_sample_sort_with, SampleSortConfig, SAMPLES_PER_PART};
 pub use seq::{radix_sort as seq_radix_sort, radix_sort_with_scratch, DEFAULT_RADIX_BITS};
 pub use shared::SharedSlice;

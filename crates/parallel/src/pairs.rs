@@ -3,7 +3,7 @@
 //! motivating use) actually needs.
 
 use crate::key::RadixKey;
-use crate::radix::RadixSortConfig;
+use crate::radix::{RadixSortConfig, SortScratch};
 
 /// Sequential LSD radix sort of parallel `keys`/`values` arrays (structure
 /// of arrays): after return, `keys` is sorted and `values[i]` is still the
@@ -80,14 +80,32 @@ where
     K: RadixKey + Default,
     V: Copy + Default + Send + Sync,
 {
+    let mut scratch = SortScratch::new();
+    par_radix_sort_pairs_with_scratch(keys, values, cfg, &mut scratch);
+}
+
+/// [`par_radix_sort_pairs_with`] through caller-owned scratch. Repeated
+/// sorts of same-shaped inputs through one [`SortScratch`] reuse every
+/// internal buffer — flip arrays, histograms, and the per-worker
+/// write-coalescing staging blocks — so steady-state callers (the
+/// sorting service) allocate nothing per sort.
+pub fn par_radix_sort_pairs_with_scratch<K, V>(
+    keys: &mut [K],
+    values: &mut [V],
+    cfg: &RadixSortConfig,
+    scratch: &mut SortScratch<K, V>,
+) where
+    K: RadixKey + Default,
+    V: Copy + Default + Send + Sync,
+{
     assert_eq!(keys.len(), values.len(), "keys and values must be parallel arrays");
     if let Err(e) = cfg.validate() {
         panic!("invalid RadixSortConfig: {e}");
     }
     if keys.len() <= cfg.sequential_cutoff.max(1) {
-        return radix_sort_pairs(keys, values, cfg.radix_bits);
+        return crate::radix::seq_fallback::<K, V, true>(keys, values, cfg.radix_bits, scratch);
     }
-    crate::radix::sort_engine::<K, V, true>(keys, values, cfg);
+    crate::radix::sort_engine::<K, V, true>(keys, values, cfg, scratch);
 }
 
 /// Sort copyable records by an extracted radix key, in parallel. Stable

@@ -166,7 +166,42 @@ pub fn par_radix_sort_with<K: RadixKey + Default>(keys: &mut [K], cfg: &RadixSor
         crate::seq::radix_sort(keys, cfg.radix_bits);
         return;
     }
-    sort_engine::<K, (), false>(keys, &mut [], cfg);
+    let mut scratch = SortScratch::new();
+    sort_engine::<K, (), false>(keys, &mut [], cfg, &mut scratch);
+}
+
+/// Sort `keys` in parallel, reusing `scratch` across calls.
+///
+/// Identical output to [`par_radix_sort_with`] (bit for bit, every
+/// configuration), but every buffer the engine needs — the flip buffer,
+/// the count matrices, and each worker's write-coalescing staging blocks —
+/// lives in the caller-owned [`SortScratch`] and is reused on the next
+/// call. A long-running caller (the sorting service) that sorts a steady
+/// stream of same-shaped inputs therefore allocates nothing per sort after
+/// the first: [`SortScratch::reallocations`] counts the growths so tests
+/// can prove it. Inputs at or below `sequential_cutoff` run the sequential
+/// fallback through the same scratch (no per-call histogram or flip-buffer
+/// allocation either).
+///
+/// `V` is the payload type the scratch is shared with (`()` when the
+/// scratch only ever sorts bare keys); one scratch may serve both the
+/// keys-only and the pairs entry points of the same `K`/`V` pair.
+pub fn par_radix_sort_with_scratch<K, V>(
+    keys: &mut [K],
+    cfg: &RadixSortConfig,
+    scratch: &mut SortScratch<K, V>,
+) where
+    K: RadixKey + Default,
+    V: Copy + Send + Sync + Default,
+{
+    if let Err(e) = cfg.validate() {
+        panic!("invalid RadixSortConfig: {e}");
+    }
+    if keys.len() <= cfg.sequential_cutoff.max(1) {
+        seq_fallback::<K, V, false>(keys, &mut [], cfg.radix_bits, scratch);
+        return;
+    }
+    sort_engine::<K, V, false>(keys, &mut [], cfg, scratch);
 }
 
 /// Fixed-stride chunk geometry: stride is a power of two so the permute can
@@ -238,12 +273,239 @@ struct Stage<K, V> {
 }
 
 impl<K: Copy + Default, V: Copy + Default> Stage<K, V> {
-    fn new(bins: usize, elems: usize, with_vals: bool) -> Self {
-        Stage {
-            kbuf: vec![K::default(); bins * elems],
-            vbuf: if with_vals { vec![V::default(); bins * elems] } else { Vec::new() },
-            fill: vec![0u32; bins],
-            elems,
+    fn empty() -> Self {
+        Stage { kbuf: Vec::new(), vbuf: Vec::new(), fill: Vec::new(), elems: 0 }
+    }
+
+    /// Shape the buffers for `bins` buckets of `elems` elements, reusing
+    /// the existing allocations when they are large enough. Returns `true`
+    /// when any backing buffer had to grow. Staged contents are governed
+    /// entirely by `fill`, so a same-shape reset only zeroes the (tiny)
+    /// fill array — the steady-state path writes nothing else.
+    fn reset(&mut self, bins: usize, elems: usize, with_vals: bool) -> bool {
+        let kn = bins * elems;
+        let vn = if with_vals { kn } else { 0 };
+        let same_shape =
+            self.kbuf.len() == kn && self.vbuf.len() == vn && self.fill.len() == bins;
+        if same_shape {
+            self.fill.fill(0);
+            self.elems = elems;
+            return false;
+        }
+        let grew =
+            kn > self.kbuf.capacity() || vn > self.vbuf.capacity() || bins > self.fill.capacity();
+        self.kbuf.clear();
+        self.kbuf.resize(kn, K::default());
+        self.vbuf.clear();
+        self.vbuf.resize(vn, V::default());
+        self.fill.clear();
+        self.fill.resize(bins, 0);
+        self.elems = elems;
+        grew
+    }
+}
+
+/// One worker's private reusable buffers: the coalescing stage, the
+/// next-pass count matrix the fused permute fills, and the fused read's
+/// per-pass global counts. Handed to exactly one worker thread per phase
+/// (disjoint `&mut` via `iter_mut`), so no synchronization is needed.
+struct WorkerScratch<K, V> {
+    stage: Stage<K, V>,
+    nh: PaddedCounts,
+    fused: PaddedCounts,
+    reallocations: u64,
+}
+
+impl<K: Copy + Default, V: Copy + Default> WorkerScratch<K, V> {
+    fn new() -> Self {
+        WorkerScratch {
+            stage: Stage::empty(),
+            nh: PaddedCounts::new(0, 0),
+            fused: PaddedCounts::new(0, 0),
+            reallocations: 0,
+        }
+    }
+}
+
+/// Caller-owned reusable buffers for [`par_radix_sort_with_scratch`] and
+/// [`crate::pairs::par_radix_sort_pairs_with_scratch`]: the flip buffers,
+/// the per-chunk count matrices, the sequential-fallback histogram, and
+/// one [`WorkerScratch`] per worker. Everything is reshaped (never shrunk)
+/// on each call, so a steady stream of same-shaped sorts touches only
+/// buffers allocated by the first call.
+///
+/// `V = ()` for keys-only scratches. A scratch may be reused freely across
+/// input lengths, digit widths, and configurations — it grows to the
+/// high-water mark and stays there.
+pub struct SortScratch<K, V = ()> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+    hist: Vec<usize>,
+    chunk_hists: PaddedCounts,
+    offsets: PaddedCounts,
+    workers: Vec<WorkerScratch<K, V>>,
+    reallocations: u64,
+}
+
+impl<K: Copy + Default, V: Copy + Default> Default for SortScratch<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Copy + Default, V: Copy + Default> SortScratch<K, V> {
+    /// An empty scratch; the first sort through it sizes every buffer.
+    pub fn new() -> Self {
+        SortScratch {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            hist: Vec::new(),
+            chunk_hists: PaddedCounts::new(0, 0),
+            offsets: PaddedCounts::new(0, 0),
+            workers: Vec::new(),
+            reallocations: 0,
+        }
+    }
+
+    /// How many times any backing buffer has grown since construction.
+    /// Two identically-shaped sorts in a row leave this unchanged across
+    /// the second — the steady-state allocation-free property the service
+    /// tests assert.
+    pub fn reallocations(&self) -> u64 {
+        let mut total = self.reallocations;
+        for w in &self.workers {
+            total += w.reallocations;
+        }
+        total
+    }
+
+    /// Shape every engine buffer for one sort. Counts growths in
+    /// `reallocations`; reuse is the common case.
+    #[allow(clippy::too_many_arguments)]
+    fn ensure(
+        &mut self,
+        n: usize,
+        with_vals: bool,
+        m: usize,
+        bins: usize,
+        workers: usize,
+        buf_elems: Option<usize>,
+        fused_rows: usize,
+    ) {
+        // The flip buffers are fully written before they are read (every
+        // permute pass writes all n destination slots), so a same-length
+        // reuse skips the default-fill entirely.
+        let vn = if with_vals { n } else { 0 };
+        let mut grew = false;
+        if self.keys.len() != n {
+            grew |= n > self.keys.capacity();
+            self.keys.clear();
+            self.keys.resize(n, K::default());
+        }
+        if self.vals.len() != vn {
+            grew |= vn > self.vals.capacity();
+            self.vals.clear();
+            self.vals.resize(vn, V::default());
+        }
+        grew |= self.chunk_hists.reset(m, bins);
+        grew |= self.offsets.reset(m, bins);
+        if workers > self.workers.len() {
+            grew = true;
+            self.workers.resize_with(workers, WorkerScratch::new);
+        }
+        for w in &mut self.workers[..workers] {
+            if let Some(e) = buf_elems {
+                w.reallocations += w.stage.reset(bins, e, with_vals) as u64;
+            }
+            if fused_rows > 0 {
+                w.reallocations += w.fused.reset(fused_rows, bins) as u64;
+            }
+        }
+        self.reallocations += grew as u64;
+    }
+
+    /// Shape the sequential-fallback buffers (flip buffer + histogram).
+    /// The histogram is zeroed at the start of every pass, so its contents
+    /// don't matter here either.
+    fn ensure_seq(&mut self, n: usize, with_vals: bool, bins: usize) {
+        let vn = if with_vals { n } else { 0 };
+        let mut grew = false;
+        if self.keys.len() != n {
+            grew |= n > self.keys.capacity();
+            self.keys.clear();
+            self.keys.resize(n, K::default());
+        }
+        if self.vals.len() != vn {
+            grew |= vn > self.vals.capacity();
+            self.vals.clear();
+            self.vals.resize(vn, V::default());
+        }
+        if self.hist.len() != bins {
+            grew |= bins > self.hist.capacity();
+            self.hist.clear();
+            self.hist.resize(bins, 0);
+        }
+        self.reallocations += grew as u64;
+    }
+}
+
+/// The sequential fallback of the scratch entry points: the exact
+/// algorithm of [`crate::seq::radix_sort_with_scratch`] /
+/// [`crate::pairs::radix_sort_pairs`] (same pass structure, same stable
+/// permutation, so identical output), run through the caller's scratch so
+/// sub-cutoff sorts allocate nothing at steady state either.
+pub(crate) fn seq_fallback<K, V, const WITH_VALS: bool>(
+    keys: &mut [K],
+    vals: &mut [V],
+    radix_bits: u32,
+    scratch: &mut SortScratch<K, V>,
+) where
+    K: RadixKey + Default,
+    V: Copy + Default,
+{
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let bins = 1usize << radix_bits;
+    let mask = (bins - 1) as u64;
+    let passes = passes_for::<K>(radix_bits);
+    scratch.ensure_seq(n, WITH_VALS, bins);
+    let SortScratch { keys: kbuf, vals: vbuf, hist, .. } = scratch;
+    let (kbuf, vbuf) = (&mut kbuf[..], &mut vbuf[..]);
+
+    let mut flipped = false;
+    for pass in 0..passes {
+        let shift = pass * radix_bits;
+        let (ks, vs, kd, vd): (&[K], &[V], &mut [K], &mut [V]) = if flipped {
+            (&*kbuf, &*vbuf, &mut *keys, &mut *vals)
+        } else {
+            (&*keys, &*vals, &mut *kbuf, &mut *vbuf)
+        };
+        hist.fill(0);
+        for k in ks.iter() {
+            hist[k.digit(shift, mask)] += 1;
+        }
+        let mut acc = 0usize;
+        for h in hist.iter_mut() {
+            let c = *h;
+            *h = acc;
+            acc += c;
+        }
+        for (i, &k) in ks.iter().enumerate() {
+            let d = k.digit(shift, mask);
+            kd[hist[d]] = k;
+            if WITH_VALS {
+                vd[hist[d]] = vs[i];
+            }
+            hist[d] += 1;
+        }
+        flipped = !flipped;
+    }
+    if flipped {
+        keys.copy_from_slice(&kbuf[..n]);
+        if WITH_VALS {
+            vals.copy_from_slice(&vbuf[..n]);
         }
     }
 }
@@ -257,6 +519,7 @@ pub(crate) fn sort_engine<K, V, const WITH_VALS: bool>(
     keys: &mut [K],
     vals: &mut [V],
     cfg: &RadixSortConfig,
+    scratch: &mut SortScratch<K, V>,
 ) where
     K: RadixKey + Default,
     V: Copy + Send + Sync + Default,
@@ -280,12 +543,21 @@ pub(crate) fn sort_engine<K, V, const WITH_VALS: bool>(
     // direct scatter loop adds a row lookup to every single element.
     let count_during_permute =
         fused && cfg.coalesce_bytes.is_some() && m * bins <= MAX_FUSED_NH_WORDS;
+    let buf_elems = cfg.coalesce_bytes.map(|b| (b / std::mem::size_of::<K>()).max(1));
 
-    let mut key_scratch = vec![K::default(); n];
-    let mut val_scratch: Vec<V> = if WITH_VALS { vec![V::default(); n] } else { Vec::new() };
-
-    let mut chunk_hists = PaddedCounts::new(m, bins);
-    let mut offsets = PaddedCounts::new(m, bins);
+    scratch.ensure(
+        n,
+        WITH_VALS,
+        m,
+        bins,
+        workers,
+        buf_elems,
+        if fused { total_passes.saturating_sub(1) } else { 0 },
+    );
+    let SortScratch { keys: key_scratch, vals: val_scratch, chunk_hists, offsets, workers: ws, .. } =
+        scratch;
+    let (key_scratch, val_scratch) = (&mut key_scratch[..], &mut val_scratch[..]);
+    let ws = &mut ws[..workers];
 
     // Pass schedule. In fused mode one read pass yields every pass's global
     // histogram (permutation-invariant, so valid for the whole sort): a
@@ -296,7 +568,7 @@ pub(crate) fn sort_engine<K, V, const WITH_VALS: bool>(
     let mut skip = vec![false; total_passes];
     let mut have_hists: Option<usize> = None;
     if fused {
-        let globals = run_fused_count(keys, exec, cfg.radix_bits, total_passes, &mut chunk_hists);
+        let globals = run_fused_count(keys, exec, cfg.radix_bits, total_passes, chunk_hists, ws);
         for (pass, hist) in globals.iter().enumerate() {
             skip[pass] = hist.contains(&n);
         }
@@ -312,15 +584,15 @@ pub(crate) fn sort_engine<K, V, const WITH_VALS: bool>(
         }
         let shift = pass as u32 * cfg.radix_bits;
         let (src_k, dst_k): (&[K], &mut [K]) =
-            if flipped { (&key_scratch, keys) } else { (keys, &mut key_scratch) };
+            if flipped { (&*key_scratch, &mut *keys) } else { (&*keys, &mut *key_scratch) };
         let (src_v, dst_v): (&[V], &mut [V]) =
-            if flipped { (&val_scratch, vals) } else { (vals, &mut val_scratch) };
+            if flipped { (&*val_scratch, &mut *vals) } else { (&*vals, &mut *val_scratch) };
 
         if have_hists != Some(pass) {
-            run_count(src_k, exec, shift, mask, &mut chunk_hists);
+            run_count(src_k, exec, shift, mask, chunk_hists);
             have_hists = Some(pass);
         }
-        let trivial = build_offsets(&chunk_hists, &mut offsets, n);
+        let trivial = build_offsets(chunk_hists, offsets, n);
         if trivial {
             // Identity permutation discovered from the counts alone (only
             // reachable without fusion; the fused schedule skips these
@@ -345,7 +617,7 @@ pub(crate) fn sort_engine<K, V, const WITH_VALS: bool>(
             bins,
             next_shift: next_exec.map(|p| p as u32 * cfg.radix_bits),
         };
-        run_permute::<K, V, WITH_VALS>(&ctx, exec, cfg, &mut offsets, &mut chunk_hists);
+        run_permute::<K, V, WITH_VALS>(&ctx, exec, buf_elems, offsets, chunk_hists, ws);
         if let Some(np) = next_exec {
             have_hists = Some(np);
         }
@@ -353,9 +625,9 @@ pub(crate) fn sort_engine<K, V, const WITH_VALS: bool>(
     }
 
     if flipped {
-        keys.copy_from_slice(&key_scratch);
+        keys.copy_from_slice(&key_scratch[..n]);
         if WITH_VALS {
-            vals.copy_from_slice(&val_scratch);
+            vals.copy_from_slice(&val_scratch[..n]);
         }
     }
 }
@@ -388,6 +660,29 @@ where
     })
 }
 
+/// Like [`run_workers`], but hands each worker exclusive `&mut` access to
+/// its own [`WorkerScratch`] (disjoint by `iter_mut`) so per-worker staging
+/// and count buffers survive across phases and across sorts instead of
+/// being allocated per pass.
+fn run_workers_scratch<K, V, F>(workers: usize, ws: &mut [WorkerScratch<K, V>], f: F)
+where
+    K: Send,
+    V: Send,
+    F: Fn(usize, &mut WorkerScratch<K, V>) + Sync,
+{
+    debug_assert_eq!(ws.len(), workers);
+    if workers == 1 {
+        f(0, &mut ws[0]);
+        return;
+    }
+    std::thread::scope(|s| {
+        for (w, slot) in ws.iter_mut().enumerate() {
+            let f = &f;
+            s.spawn(move || f(w, slot));
+        }
+    });
+}
+
 /// Per-chunk digit counts for one pass, in parallel over the chunk queue.
 fn run_count<K: RadixKey>(
     src: &[K],
@@ -410,15 +705,21 @@ fn run_count<K: RadixKey>(
 }
 
 /// The fused read: per-chunk counts for pass 0 into `chunk_hists`, plus
-/// per-worker padded global counts for every later pass, reduced and
-/// returned as one global histogram per pass.
-fn run_fused_count<K: RadixKey>(
+/// per-worker padded global counts for every later pass (each worker's
+/// reusable `fused` matrix, zeroed by `ensure`), reduced and returned as
+/// one global histogram per pass.
+fn run_fused_count<K, V>(
     src: &[K],
     exec: Exec,
     radix_bits: u32,
     passes: usize,
     chunk_hists: &mut PaddedCounts,
-) -> Vec<Vec<usize>> {
+    ws: &mut [WorkerScratch<K, V>],
+) -> Vec<Vec<usize>>
+where
+    K: RadixKey + Send,
+    V: Send,
+{
     let bins = 1usize << radix_bits;
     let mask = (bins - 1) as u64;
     let shared = chunk_hists.shared();
@@ -428,8 +729,8 @@ fn run_fused_count<K: RadixKey>(
     // costs the same instructions as `passes` separate count loops but
     // makes only one trip through memory.
     const FUSED_BLOCK: usize = 2048;
-    let parts: Vec<PaddedCounts> = run_workers(exec.workers, |w| {
-        let mut high = PaddedCounts::new(passes.saturating_sub(1), bins);
+    run_workers_scratch(exec.workers, ws, |w, wsc| {
+        let high = &mut wsc.fused;
         while let Some(c) = queue.claim(w) {
             // SAFETY: chunk ids are claimed exactly once per phase.
             let row0 = unsafe { shared.row_mut(c) };
@@ -441,7 +742,6 @@ fn run_fused_count<K: RadixKey>(
                 }
             }
         }
-        high
     });
 
     let mut globals = vec![vec![0usize; bins]; passes];
@@ -450,9 +750,9 @@ fn run_fused_count<K: RadixKey>(
             *g += h;
         }
     }
-    for part in &parts {
+    for part in ws.iter() {
         for (p, global) in globals.iter_mut().enumerate().skip(1) {
-            for (g, h) in global.iter_mut().zip(part.row(p - 1)) {
+            for (g, h) in global.iter_mut().zip(part.fused.row(p - 1)) {
                 *g += h;
             }
         }
@@ -490,9 +790,10 @@ fn build_offsets(chunk_hists: &PaddedCounts, offsets: &mut PaddedCounts, n: usiz
 fn run_permute<K, V, const WITH_VALS: bool>(
     ctx: &PermuteCtx<'_, K, V>,
     exec: Exec,
-    cfg: &RadixSortConfig,
+    buf_elems: Option<usize>,
     offsets: &mut PaddedCounts,
     chunk_hists: &mut PaddedCounts,
+    ws: &mut [WorkerScratch<K, V>],
 ) where
     K: RadixKey + Default,
     V: Copy + Send + Sync + Default,
@@ -500,37 +801,35 @@ fn run_permute<K, V, const WITH_VALS: bool>(
     let m = ctx.geom.chunks();
     let off_shared = offsets.shared();
     let queue = ChunkQueue::new(exec.workers, m, exec.steal);
-    let buf_elems = cfg.coalesce_bytes.map(|b| (b / std::mem::size_of::<K>()).max(1));
-    let parts: Vec<PaddedCounts> = run_workers(exec.workers, |w| {
-        let mut nh = match ctx.next_shift {
-            Some(_) => PaddedCounts::new(m, ctx.bins),
-            None => PaddedCounts::new(0, 0),
-        };
-        let mut stage = buf_elems.map(|e| Stage::<K, V>::new(ctx.bins, e, WITH_VALS));
+    run_workers_scratch(exec.workers, ws, |w, wsc| {
+        // The next-pass count matrix is reshaped (reusing its buffer) at
+        // the start of every permute pass that fuses counting; zeroing it
+        // here replaces the per-pass allocation the first version paid.
+        if ctx.next_shift.is_some() {
+            wsc.reallocations += wsc.nh.reset(m, ctx.bins) as u64;
+        }
+        let nh = &mut wsc.nh;
         while let Some(c) = queue.claim(w) {
             // SAFETY: chunk ids are claimed exactly once per phase, so
             // offset row `c` is touched by this worker only.
             let off = unsafe { off_shared.row_mut(c) };
-            match &mut stage {
-                Some(st) => permute_chunk_coalesced::<K, V, WITH_VALS>(
+            match buf_elems {
+                Some(_) => permute_chunk_coalesced::<K, V, WITH_VALS>(
                     ctx,
                     ctx.geom.range(c),
                     off,
-                    st,
-                    &mut nh,
+                    &mut wsc.stage,
+                    nh,
                 ),
-                None => {
-                    permute_chunk_direct::<K, V, WITH_VALS>(ctx, ctx.geom.range(c), off, &mut nh)
-                }
+                None => permute_chunk_direct::<K, V, WITH_VALS>(ctx, ctx.geom.range(c), off, nh),
             }
         }
-        nh
     });
 
     if ctx.next_shift.is_some() {
         chunk_hists.clear();
-        for part in &parts {
-            chunk_hists.accumulate(part);
+        for part in ws.iter() {
+            chunk_hists.accumulate(&part.nh);
         }
     }
 }
@@ -792,6 +1091,73 @@ mod tests {
             &mut v,
             &RadixSortConfig { coalesce_bytes: Some(0), ..Default::default() },
         );
+    }
+
+    #[test]
+    fn scratch_path_matches_fresh_path() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut scratch: SortScratch<u64> = SortScratch::new();
+        for cfg in all_configs() {
+            for n in [0usize, 1, 7, 300, 40_000] {
+                let input: Vec<u64> = (0..n as u64).map(|_| rng.random()).collect();
+                let mut fresh = input.clone();
+                let mut reused = input;
+                par_radix_sort_with(&mut fresh, &cfg);
+                par_radix_sort_with_scratch(&mut reused, &cfg, &mut scratch);
+                assert_eq!(fresh, reused, "scratch path diverges for n={n} under {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_reuses_scratch_without_reallocating() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let cfg = RadixSortConfig::default();
+        let mut scratch: SortScratch<u32> = SortScratch::new();
+        let n = 60_000;
+        // Warm-up sort shapes every buffer for (n, cfg).
+        let mut v: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+        par_radix_sort_with_scratch(&mut v, &cfg, &mut scratch);
+        let warm = scratch.reallocations();
+        // Same-shaped sorts afterwards must not grow any buffer.
+        for _ in 0..3 {
+            let mut v: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+            par_radix_sort_with_scratch(&mut v, &cfg, &mut scratch);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+        assert_eq!(
+            scratch.reallocations(),
+            warm,
+            "same-shape resort reallocated scratch buffers"
+        );
+        // A smaller sort also fits in the warmed buffers.
+        let mut v: Vec<u32> = (0..n / 2).map(|_| rng.random()).collect();
+        par_radix_sort_with_scratch(&mut v, &cfg, &mut scratch);
+        assert_eq!(scratch.reallocations(), warm, "shrinking resort reallocated");
+    }
+
+    #[test]
+    fn seq_fallback_through_scratch_is_stable_and_reuses() {
+        let mut scratch: SortScratch<u16, u32> = SortScratch::new();
+        let cfg = RadixSortConfig::default(); // cutoff leaves small inputs sequential
+        let n = 512usize;
+        assert!(n <= cfg.sequential_cutoff);
+        let mut warm = 0;
+        for round in 0..3u32 {
+            let mut keys: Vec<u16> = (0..n as u32).map(|i| (i % 7) as u16).collect();
+            let mut vals: Vec<u32> = (0..n as u32).map(|i| i * 10 + round).collect();
+            let mut expect: Vec<(u16, u32)> =
+                keys.iter().copied().zip(vals.iter().copied()).collect();
+            expect.sort_by_key(|p| p.0); // sort_by_key is stable
+            crate::pairs::par_radix_sort_pairs_with_scratch(&mut keys, &mut vals, &cfg, &mut scratch);
+            let got: Vec<(u16, u32)> = keys.into_iter().zip(vals).collect();
+            assert_eq!(got, expect, "sequential fallback not stable (round {round})");
+            if round == 0 {
+                warm = scratch.reallocations();
+            } else {
+                assert_eq!(scratch.reallocations(), warm, "seq fallback reallocated");
+            }
+        }
     }
 
     #[test]

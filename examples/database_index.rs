@@ -1,19 +1,34 @@
-//! Building a database index with parallel sample sort — the application
-//! the paper's introduction motivates ("sorting ... is a core utility for
-//! database systems in organizing and indexing data").
+//! Building a database index — the application the paper's introduction
+//! motivates ("sorting ... is a core utility for database systems in
+//! organizing and indexing data") — as the sorting *service*'s seed
+//! workload.
 //!
 //! ```text
 //! cargo run --release --example database_index [rows]
 //! ```
 //!
-//! Generates a table of synthetic orders, builds a sorted index over a
-//! 64-bit composite key (customer id in the high bits, timestamp in the
-//! low bits) with [`ccsort::parallel::par_sample_sort`], and answers range
-//! queries ("all orders of customer X, oldest first") by binary search.
+//! Generates a table of synthetic orders keyed by a 64-bit composite
+//! (customer id in the high bits, timestamp in the low bits) with a row-id
+//! payload, then builds the index two ways:
+//!
+//! 1. **Monolithic**: one `par_radix_sort_pairs_with` over the whole table —
+//!    the shape the original example had, kept as the reference.
+//! 2. **As a service**: many concurrent client threads, each responsible
+//!    for a shard of customers, submit one small index-build request per
+//!    customer (that customer's keys + row ids) to a shared
+//!    [`SortService`]. The request-coalescing batcher merges them into
+//!    shared batches; the same run with coalescing off shows what the
+//!    per-request baseline costs. Both are verified against the
+//!    monolithic index, byte for byte.
+//!
+//! Per-customer indexes ordered by customer concatenate to exactly the
+//! monolithic index: the composite key puts the customer in the high
+//! bits, and both paths sort stably, so equal keys keep table order.
 
 use std::time::Instant;
 
-use ccsort::parallel::par_sample_sort;
+use ccsort::parallel::{par_radix_sort_pairs_with, RadixSortConfig};
+use ccsort::service::{ServiceConfig, SortService};
 
 /// Pack (customer, timestamp) into one sortable key.
 fn key(customer: u32, ts: u32) -> u64 {
@@ -22,32 +37,121 @@ fn key(customer: u32, ts: u32) -> u64 {
 
 fn main() {
     let rows: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1 << 21);
-    let customers = 10_000u32;
+    // Many customers → small per-customer requests (~128 keys at the
+    // default row count): the many-small-concurrent-requests regime the
+    // coalescing batcher exists for.
+    let customers = 16384u32;
+    let clients = 8usize;
 
     // Synthetic order stream: deterministic hash "random".
     let t = Instant::now();
-    let mut index: Vec<u64> = (0..rows as u64)
+    let table: Vec<(u64, u64)> = (0..rows as u64)
         .map(|i| {
             let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let customer = ((h >> 40) as u32) % customers;
             let ts = (h & 0xFFFF_FFFF) as u32;
-            key(customer, ts)
+            (key(customer, ts), i) // payload = row id
         })
         .collect();
     println!("generated {rows} orders in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
 
+    // --- 1. the monolithic build: one big sort, the reference index. ---
+    let mut mono_keys: Vec<u64> = table.iter().map(|&(k, _)| k).collect();
+    let mut mono_rows: Vec<u64> = table.iter().map(|&(_, r)| r).collect();
     let t = Instant::now();
-    par_sample_sort(&mut index);
-    println!("built sorted index in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
-    assert!(index.windows(2).all(|w| w[0] <= w[1]));
+    par_radix_sort_pairs_with(&mut mono_keys, &mut mono_rows, &RadixSortConfig::default());
+    println!("monolithic index build: {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
 
-    // Range queries: all orders of a customer, in time order.
+    // --- 2. the service build: per-customer requests from many clients. ---
+    // Bucket the table by customer once (the per-client request inputs).
+    // Scanning rows in order keeps each request's duplicates in table
+    // order, which is what makes the stable per-request sorts concatenate
+    // to the stable monolithic one.
+    let mut requests: Vec<(Vec<u64>, Vec<u64>)> =
+        vec![(Vec::new(), Vec::new()); customers as usize];
+    for &(k, r) in &table {
+        let c = (k >> 32) as usize;
+        requests[c].0.push(k);
+        requests[c].1.push(r);
+    }
+
+    for coalescing in [true, false] {
+        let inputs = requests.clone();
+        // Coalesced batches get a wider digit (fewer passes over the big
+        // batch) and a cache-resident byte cap — the same tuning the
+        // committed `svcbench` grid measures.
+        let batch_sort = RadixSortConfig {
+            radix_bits: 11,
+            sequential_cutoff: 1 << 20,
+            ..RadixSortConfig::default()
+        };
+        let svc = SortService::start(ServiceConfig {
+            coalescing,
+            queue_limit: customers as usize,
+            max_batch_bytes: 1 << 17,
+            batch_sort: Some(batch_sort),
+            ..ServiceConfig::default()
+        })
+        .expect("valid service config");
+        let t = Instant::now();
+        // Each client thread owns a contiguous shard of customers and
+        // submits one index-build request per customer, then waits for
+        // its replies — many small concurrent requests, the regime the
+        // coalescing batcher exists for.
+        let mut built: Vec<Option<(Vec<u64>, Vec<u64>)>> = vec![None; customers as usize];
+        std::thread::scope(|s| {
+            let svc = &svc;
+            for (shard, out) in
+                built.chunks_mut(customers as usize / clients).enumerate()
+            {
+                let base = shard * (customers as usize / clients);
+                let inputs = &inputs;
+                s.spawn(move || {
+                    let tickets: Vec<_> = out
+                        .iter()
+                        .enumerate()
+                        .map(|(i, _)| {
+                            let (k, v) = inputs[base + i].clone();
+                            svc.submit_pairs_u64(k, v).expect("queue sized to the workload")
+                        })
+                        .collect();
+                    for (t, slot) in tickets.into_iter().zip(out.iter_mut()) {
+                        let r = t.wait();
+                        *slot = Some((r.keys, r.vals));
+                    }
+                });
+            }
+        });
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let stats = svc.shutdown();
+        println!(
+            "service index build ({}): {ms:.1} ms — {} requests in {} batches (mean {:.1} req/batch)",
+            if coalescing { "coalesced" } else { "baseline " },
+            stats.completed,
+            stats.batches,
+            stats.completed as f64 / stats.batches.max(1) as f64,
+        );
+
+        // Verify: per-customer indexes concatenate to the monolithic one.
+        let mut off = 0usize;
+        for (c, built) in built.iter().enumerate() {
+            let (k, v) = built.as_ref().expect("every customer built");
+            assert_eq!(k[..], mono_keys[off..off + k.len()], "customer {c} keys diverge");
+            assert_eq!(v[..], mono_rows[off..off + v.len()], "customer {c} row ids diverge");
+            off += k.len();
+        }
+        assert_eq!(off, rows, "indexes cover the table");
+    }
+    println!("service-built indexes verified byte-identical to the monolithic index");
+
+    // Range queries against the monolithic index: all orders of a
+    // customer, in time order.
     let t = Instant::now();
     let mut total = 0usize;
     for customer in (0..customers).step_by(97) {
-        let lo = index.partition_point(|&k| k < key(customer, 0));
-        let hi = index.partition_point(|&k| k < key(customer + 1, 0));
-        let orders = &index[lo..hi];
+        let lo = mono_keys.partition_point(|&k| k < key(customer, 0));
+        let hi = mono_keys.partition_point(|&k| k < key(customer + 1, 0));
+        let orders = &mono_keys[lo..hi];
         assert!(orders.iter().all(|&k| (k >> 32) as u32 == customer));
         assert!(orders.windows(2).all(|w| (w[0] & 0xFFFF_FFFF) <= (w[1] & 0xFFFF_FFFF)));
         total += orders.len();
@@ -56,13 +160,5 @@ fn main() {
         "answered {} range queries covering {total} orders in {:.2} ms",
         customers.div_ceil(97),
         t.elapsed().as_secs_f64() * 1e3
-    );
-
-    let sample_customer = 4242;
-    let lo = index.partition_point(|&k| k < key(sample_customer, 0));
-    let hi = index.partition_point(|&k| k < key(sample_customer + 1, 0));
-    println!("customer {sample_customer} has {} orders; first three: {:?}",
-        hi - lo,
-        index[lo..(lo + 3).min(hi)].iter().map(|k| k & 0xFFFF_FFFF).collect::<Vec<_>>()
     );
 }

@@ -16,7 +16,10 @@
 //!   binary in `ccsort-bench` regenerates every table and figure.
 //! * **The library** ([`parallel`]): thread-parallel radix and sample
 //!   sorts for real workloads (rayon data-parallel, plus in-process
-//!   message-passing and symmetric-heap runtimes).
+//!   message-passing and symmetric-heap runtimes), and [`service`]: a
+//!   long-running sorting service that coalesces many small concurrent
+//!   requests into shared batches — the paper's message-coalescing lesson
+//!   applied at the request level.
 //!
 //! ## Quick start: sort data on this machine
 //!
@@ -44,6 +47,7 @@ pub use ccsort_algos as algos;
 pub use ccsort_machine as machine;
 pub use ccsort_models as models;
 pub use ccsort_parallel as parallel;
+pub use ccsort_service as service;
 
 /// The crate's own sanity check: the simulated study and the real library
 /// agree on what "sorted" means.

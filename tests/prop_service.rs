@@ -1,0 +1,140 @@
+//! Property-based tests of the sorting service's one correctness claim:
+//! however a workload is split into requests, and however the batcher's
+//! flush timing groups those requests into batches, every request's reply
+//! is byte-identical to a solo engine sort of that request alone.
+//!
+//! Flush timing is driven deterministically: `executors: 0` makes
+//! [`SortService::drain_one`] the only pump, so interleaving submissions
+//! with drains (and varying `max_batch_bytes`) explores arbitrary batch
+//! compositions — from all-solo to one giant batch — without relying on
+//! real-time windows.
+
+use ccsort::parallel::{par_radix_sort_pairs_with, par_radix_sort_with};
+use ccsort::service::{ServiceConfig, SortService, SubmitError};
+use proptest::prelude::*;
+
+/// Split `workload` at the given fractional cut points into contiguous
+/// request slices (some possibly empty — empty requests are legal).
+fn split_requests<T: Clone>(workload: &[T], cuts: &[usize]) -> Vec<Vec<T>> {
+    let n = workload.len();
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (n + 1)).collect();
+    bounds.push(0);
+    bounds.push(n);
+    bounds.sort_unstable();
+    bounds.windows(2).map(|w| workload[w[0]..w[1]].to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any split of a u32 workload into requests, any batch-size cap, any
+    /// drain interleaving: per-request replies equal solo sorts.
+    #[test]
+    fn coalesced_u32_equals_solo_any_split_any_flush(
+        workload in proptest::collection::vec(any::<u32>(), 0..3000),
+        cuts in proptest::collection::vec(0usize..3000, 0..12),
+        max_batch_bytes in 64usize..(1 << 16),
+        drain_every in 1usize..6,
+    ) {
+        let svc = SortService::start(ServiceConfig {
+            executors: 0,
+            max_batch_bytes,
+            queue_limit: 64,
+            ..ServiceConfig::default()
+        }).unwrap();
+        let cfg = ServiceConfig::default().sort;
+        let mut tickets = Vec::new();
+        for (i, req) in split_requests(&workload, &cuts).into_iter().enumerate() {
+            let mut solo = req.clone();
+            par_radix_sort_with(&mut solo, &cfg);
+            tickets.push((svc.submit_u32(req).unwrap(), solo));
+            // Interleave drains with submissions: every prefix of the
+            // queue is a flush boundary somewhere in the case space.
+            if (i + 1) % drain_every == 0 {
+                svc.drain_one();
+            }
+        }
+        svc.drain_all();
+        for (t, solo) in tickets {
+            prop_assert_eq!(t.wait().keys, solo);
+        }
+        svc.shutdown();
+    }
+
+    /// Pairs lane under heavy key duplication: split-back must preserve
+    /// the stable order of equal keys within every request.
+    #[test]
+    fn coalesced_pairs_equal_solo_and_stay_stable(
+        workload in proptest::collection::vec(0u64..16, 0..1500),
+        cuts in proptest::collection::vec(0usize..1500, 0..8),
+        max_batch_bytes in 256usize..(1 << 15),
+        drain_every in 1usize..5,
+    ) {
+        let svc = SortService::start(ServiceConfig {
+            executors: 0,
+            max_batch_bytes,
+            queue_limit: 64,
+            ..ServiceConfig::default()
+        }).unwrap();
+        let cfg = ServiceConfig::default().sort;
+        let mut tickets = Vec::new();
+        for (i, req) in split_requests(&workload, &cuts).into_iter().enumerate() {
+            let vals: Vec<u64> = (0..req.len() as u64).collect();
+            let (mut sk, mut sv) = (req.clone(), vals.clone());
+            par_radix_sort_pairs_with(&mut sk, &mut sv, &cfg);
+            tickets.push((svc.submit_pairs_u64(req, vals).unwrap(), sk, sv));
+            if (i + 1) % drain_every == 0 {
+                svc.drain_one();
+            }
+        }
+        svc.drain_all();
+        for (t, sk, sv) in tickets {
+            let r = t.wait();
+            prop_assert_eq!(r.keys, sk);
+            prop_assert_eq!(r.vals, sv);
+        }
+        svc.shutdown();
+    }
+
+    /// Overload: the queue never exceeds its bound, every over-limit
+    /// submission is rejected explicitly with its buffers intact, and the
+    /// accepted prefix still completes correctly.
+    #[test]
+    fn backpressure_bounds_memory_and_rejects_explicitly(
+        queue_limit in 1usize..24,
+        extra in 0usize..40,
+        req_len in 0usize..64,
+    ) {
+        let svc = SortService::start(ServiceConfig {
+            executors: 0,
+            queue_limit,
+            ..ServiceConfig::default()
+        }).unwrap();
+        let mut accepted = Vec::new();
+        let mut rejected = 0u64;
+        for i in 0..queue_limit + extra {
+            let input: Vec<u32> = (0..req_len as u32).map(|j| j ^ (i as u32) << 5).collect();
+            match svc.submit_u32(input.clone()) {
+                Ok(t) => accepted.push((t, input)),
+                Err(SubmitError::Rejected { keys, pending, .. }) => {
+                    prop_assert_eq!(keys, input);
+                    prop_assert_eq!(pending, queue_limit);
+                    rejected += 1;
+                }
+                Err(e) => prop_assert!(false, "unexpected submit error: {e:?}"),
+            }
+            prop_assert!(svc.pending() <= queue_limit);
+        }
+        prop_assert_eq!(accepted.len(), queue_limit);
+        prop_assert_eq!(rejected, extra as u64);
+        svc.drain_all();
+        for (t, input) in accepted {
+            let mut expect = input;
+            expect.sort_unstable();
+            prop_assert_eq!(t.wait().keys, expect);
+        }
+        let stats = svc.shutdown();
+        prop_assert_eq!(stats.completed, queue_limit as u64);
+        prop_assert_eq!(stats.rejected, extra as u64);
+    }
+}

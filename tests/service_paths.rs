@@ -1,0 +1,185 @@
+//! Deterministic coverage of the sorting service — threaded executors,
+//! the coalescing batcher's split-back, backpressure, and steady-state
+//! scratch reuse — sized for the curated ThreadSanitizer CI tier: real
+//! threads, real condvar wake-ups and batch claims, no proptest loops.
+//!
+//! (The arbitrary-split / arbitrary-flush-timing equivalence properties
+//! live in `tests/prop_service.rs`; this file is the fixed-seed subset
+//! whose behaviour is identical on every run, so a TSan report here is
+//! always reproducible.)
+
+use ccsort::parallel::{par_radix_sort_pairs_with, par_radix_sort_with};
+use ccsort::service::{ServiceConfig, SortService, SubmitError};
+
+/// Deterministic keys (splitmix64) — the same arrays on every run.
+fn keys(n: usize, seed: u64) -> Vec<u32> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) as u32
+        })
+        .collect()
+}
+
+fn keys64(n: usize, seed: u64) -> Vec<u64> {
+    keys(n, seed).into_iter().map(|k| (k as u64) << 3 | (seed & 7)).collect()
+}
+
+/// Mixed request sizes spanning both engine regimes (sequential fallback
+/// and the threaded engine once batched).
+fn sizes() -> Vec<usize> {
+    (0..48).map(|i| [3, 17, 64, 130, 511, 1024][i % 6] + i).collect()
+}
+
+#[test]
+fn threaded_service_matches_solo_sorts_u32() {
+    let svc = SortService::start(ServiceConfig {
+        executors: 3,
+        max_wait_us: 50,
+        max_batch_bytes: 1 << 14,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let cfg = ServiceConfig::default().sort;
+    let tickets: Vec<_> = sizes()
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let input = keys(n, 0xA000 + i as u64);
+            let mut solo = input.clone();
+            par_radix_sort_with(&mut solo, &cfg);
+            (svc.submit_u32(input).unwrap(), solo)
+        })
+        .collect();
+    for (t, solo) in tickets {
+        assert_eq!(t.wait().keys, solo, "service reply diverges from solo sort");
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, 48);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn threaded_service_pairs_are_stable_and_identical() {
+    let svc = SortService::start(ServiceConfig {
+        executors: 2,
+        max_wait_us: 50,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let cfg = ServiceConfig::default().sort;
+    let tickets: Vec<_> = (0..24)
+        .map(|i| {
+            // Few distinct keys → heavy duplication, so stability is load-
+            // bearing: payloads of equal keys must keep submission order.
+            let n = 200 + 13 * i;
+            let k: Vec<u64> = keys64(n, i as u64).iter().map(|x| x % 9).collect();
+            let v: Vec<u64> = (0..n as u64).collect();
+            let (mut sk, mut sv) = (k.clone(), v.clone());
+            par_radix_sort_pairs_with(&mut sk, &mut sv, &cfg);
+            (svc.submit_pairs_u64(k, v).unwrap(), sk, sv)
+        })
+        .collect();
+    for (t, sk, sv) in tickets {
+        let r = t.wait();
+        assert_eq!((r.keys, r.vals), (sk, sv), "pairs reply diverges from solo sort");
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn backpressure_is_bounded_and_explicit() {
+    // Deterministic overload: no executor drains the queue, so admission
+    // control is the only thing standing between the client and the
+    // service's memory. The bound must hold exactly and every request
+    // past it must be rejected explicitly with its buffers intact.
+    let limit = 16usize;
+    let svc = SortService::start(ServiceConfig {
+        executors: 0,
+        queue_limit: limit,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..4 * limit {
+        let input = keys(32, i as u64);
+        match svc.submit_u32(input.clone()) {
+            Ok(t) => accepted.push((t, input)),
+            Err(SubmitError::Rejected { keys: k, pending, .. }) => {
+                assert_eq!(k, input, "rejected buffer must come back untouched");
+                assert_eq!(pending, limit, "rejection must happen exactly at the bound");
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e:?}"),
+        }
+        assert!(svc.pending() <= limit, "queue exceeded its bound");
+    }
+    assert_eq!(accepted.len(), limit);
+    assert_eq!(rejected, 3 * limit as u64);
+    assert_eq!(svc.stats().rejected, rejected);
+    // The accepted requests still complete correctly after the storm.
+    svc.drain_all();
+    for (t, input) in accepted {
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(t.wait().keys, expect);
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, limit as u64);
+}
+
+#[test]
+fn steady_state_serving_allocates_no_scratch() {
+    // Same-shaped waves through the deterministic drain: after the first
+    // wave has shaped every engine buffer, the reallocation counter must
+    // go flat — the data plane allocates nothing per request.
+    let svc = SortService::start(ServiceConfig {
+        executors: 0,
+        max_batch_bytes: 1 << 16,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let mut warm = None;
+    for wave in 0..4u64 {
+        let tickets: Vec<_> = (0..16)
+            .map(|i| svc.submit_u32(keys(256, wave * 100 + i)).unwrap())
+            .collect();
+        svc.drain_all();
+        for t in tickets {
+            let r = t.wait();
+            assert!(r.keys.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(r.batch_requests, 16, "whole wave should share one batch");
+        }
+        match warm {
+            None => warm = Some(svc.stats().scratch_reallocations),
+            Some(w) => assert_eq!(
+                svc.stats().scratch_reallocations,
+                w,
+                "steady-state wave {wave} grew an engine buffer"
+            ),
+        }
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn flush_window_completes_a_lone_request() {
+    // A single tiny request at idle must not wait for the byte threshold:
+    // the max_wait_us window flushes it. `wait()` blocking forever here
+    // would be the bug; no drain call is made.
+    let svc = SortService::start(ServiceConfig {
+        executors: 1,
+        max_wait_us: 100,
+        max_batch_bytes: usize::MAX >> 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let t = svc.submit_u64(vec![5, 2, 9, 1]).unwrap();
+    assert_eq!(t.wait().keys, vec![1, 2, 5, 9]);
+    svc.shutdown();
+}
