@@ -4,7 +4,8 @@
 //! cargo run -p ccsort-audit -- sweep [--quick] [--seed S] [--races]
 //! cargo run -p ccsort-audit -- races [--quick] [--seed S]
 //! cargo run -p ccsort-audit -- replay --alg NAME|all --dist NAME \
-//!     --n N --p P --r R --seed S [--scale K] [--dir full-map|lp:N|cv:N]
+//!     --n N --p P --r R --seed S [--scale K] [--dir full-map|lp:N|cv:N] \
+//!     [--topo hypercube|mesh|fat-tree:K] [--proto inv|upd]
 //! ```
 //!
 //! `sweep` exits non-zero if any point fails; every failure line embeds the
@@ -15,7 +16,7 @@
 //! the threaded sorts and the distribution validator.
 
 use ccsort_audit::{audit_point, audit_simulated, validate_dist, Point};
-use ccsort_algos::{Algorithm, DirectoryMode, Dist};
+use ccsort_algos::{Algorithm, DirectoryMode, Dist, InterconnectKind, ProtocolMode};
 use rayon::prelude::*;
 
 /// Expand the (points × processor counts × distributions) grid in the
@@ -28,11 +29,27 @@ fn grid(points: &[(usize, u32, u64)], ps: &[usize]) -> Vec<Point> {
     for &(n, r, seed) in points {
         for &p in ps {
             for dist in Dist::ALL {
-                cells.push(Point { dist, n, p, r, seed, scale: 256, dir: DirectoryMode::FullMap });
+                cells.push(Point { dist, n, p, r, seed, ..default_point() });
             }
         }
     }
     cells
+}
+
+/// The all-defaults point the grids specialise: full-map directory on the
+/// hypercube with the invalidate protocol, at the sweeps' standard scale.
+fn default_point() -> Point {
+    Point {
+        dist: Dist::Random,
+        n: 1 << 10,
+        p: 8,
+        r: 6,
+        seed: 0,
+        scale: 256,
+        dir: DirectoryMode::FullMap,
+        topo: InterconnectKind::Hypercube,
+        proto: ProtocolMode::Invalidate,
+    }
 }
 
 /// Directory-scaling cells past the real machine's 64 processors: the three
@@ -40,43 +57,57 @@ fn grid(points: &[(usize, u32, u64)], ps: &[usize]) -> Vec<Point> {
 /// checks invariants and output, not statistics, so one dist suffices per
 /// mode). `--quick` keeps only the p = 128 limited-pointer cell CI runs.
 fn large_p_cells(quick: bool, seed: u64) -> Vec<Point> {
-    let mut cells = vec![Point {
-        dist: Dist::Random,
-        n: 1 << 10,
-        p: 128,
-        r: 6,
-        seed,
-        scale: 256,
-        dir: DirectoryMode::LimitedPointer(8),
-    }];
+    let base = Point { seed, ..default_point() };
+    let mut cells =
+        vec![Point { p: 128, dir: DirectoryMode::LimitedPointer(8), ..base }];
     if !quick {
-        cells.push(Point {
-            dist: Dist::Random,
-            n: 1 << 10,
-            p: 128,
-            r: 6,
-            seed,
-            scale: 256,
-            dir: DirectoryMode::FullMap,
-        });
+        cells.push(Point { p: 128, ..base });
         cells.push(Point {
             dist: Dist::Stagger,
-            n: 1 << 10,
             p: 256,
-            r: 6,
-            seed,
-            scale: 256,
             dir: DirectoryMode::CoarseVector(8),
+            ..base
         });
+        cells.push(Point { dist: Dist::Stagger, p: 256, ..base });
+    }
+    cells
+}
+
+/// Topology × protocol cells: the non-default interconnects and the Dragon
+/// update mode, through the same oracle as everything else. `--quick` keeps
+/// one cell per new axis value (mesh, fat-tree, Dragon — and one combined
+/// cell, since the layers must compose); the full sweep adds odd processor
+/// counts, a second arity, an imprecise-directory combination and the
+/// machine-sized p = 64 cells.
+fn mode_cells(quick: bool, seed: u64) -> Vec<Point> {
+    let base = Point { seed, ..default_point() };
+    let mut cells = vec![
+        Point { topo: InterconnectKind::Mesh2D, ..base },
+        Point { topo: InterconnectKind::FatTree(4), ..base },
+        Point { proto: ProtocolMode::DragonUpdate, ..base },
+        Point {
+            topo: InterconnectKind::Mesh2D,
+            proto: ProtocolMode::DragonUpdate,
+            ..base
+        },
+    ];
+    if !quick {
+        cells.push(Point { dist: Dist::Stagger, p: 7, topo: InterconnectKind::FatTree(2), ..base });
         cells.push(Point {
             dist: Dist::Stagger,
-            n: 1 << 10,
-            p: 256,
-            r: 6,
-            seed,
-            scale: 256,
-            dir: DirectoryMode::FullMap,
+            p: 7,
+            proto: ProtocolMode::DragonUpdate,
+            ..base
         });
+        cells.push(Point {
+            p: 16,
+            topo: InterconnectKind::FatTree(4),
+            proto: ProtocolMode::DragonUpdate,
+            dir: DirectoryMode::LimitedPointer(8),
+            ..base
+        });
+        cells.push(Point { p: 64, topo: InterconnectKind::Mesh2D, ..base });
+        cells.push(Point { p: 64, proto: ProtocolMode::DragonUpdate, ..base });
     }
     cells
 }
@@ -87,17 +118,22 @@ fn run_grid<F>(cells: &[Point], audit: F) -> Vec<String>
 where
     F: Fn(&Point) -> Vec<String> + Sync,
 {
-    let results: Vec<Vec<String>> = cells.par_iter().map(|pt| audit(pt)).collect();
+    let results: Vec<Vec<String>> = cells.par_iter().map(&audit).collect();
     let mut failures = Vec::new();
     for (pt, errs) in cells.iter().zip(&results) {
         let status = if errs.is_empty() { "ok" } else { "FAIL" };
-        let dir = if pt.dir == DirectoryMode::FullMap {
-            String::new()
-        } else {
-            format!(" dir={}", Point::dir_flag(pt.dir))
-        };
+        let mut modes = String::new();
+        if pt.dir != DirectoryMode::FullMap {
+            modes.push_str(&format!(" dir={}", Point::dir_flag(pt.dir)));
+        }
+        if pt.topo != InterconnectKind::Hypercube {
+            modes.push_str(&format!(" topo={}", Point::topo_flag(pt.topo)));
+        }
+        if pt.proto != ProtocolMode::Invalidate {
+            modes.push_str(&format!(" proto={}", Point::proto_flag(pt.proto)));
+        }
         println!(
-            "{status:>4}  {} n={} p={} r={} seed={}{dir}",
+            "{status:>4}  {} n={} p={} r={} seed={}{modes}",
             pt.dist.name(),
             pt.n,
             pt.p,
@@ -121,7 +157,8 @@ fn main() {
                 "usage:\n  ccsort-audit sweep [--quick] [--seed S] [--races]\n  \
                  ccsort-audit races [--quick] [--seed S]\n  \
                  ccsort-audit replay --alg NAME|all --dist NAME --n N --p P --r R --seed S \
-                 [--scale K] [--dir full-map|lp:N|cv:N]"
+                 [--scale K] [--dir full-map|lp:N|cv:N] \
+                 [--topo hypercube|mesh|fat-tree:K] [--proto inv|upd]"
             );
             2
         }
@@ -181,6 +218,14 @@ fn sweep(args: &[String]) -> i32 {
         audit_simulated(pt, &[Algorithm::RadixCcsas, Algorithm::SampleCcsas])
     }));
 
+    // Topology × protocol cells: all eleven programs under the non-default
+    // interconnects and the Dragon update mode (the threaded sorts ride
+    // along — they ignore the machine axes, but their outputs still
+    // cross-check the simulated ones).
+    let modes = mode_cells(quick, seed);
+    checked += modes.len();
+    failures.extend(run_grid(&modes, |pt| audit_point(pt, &Algorithm::ALL)));
+
     if failures.is_empty() {
         println!("sweep clean: {checked} points, all implementations agree, all invariants hold");
         0
@@ -221,6 +266,12 @@ fn races(args: &[String]) -> i32 {
     failures.extend(run_grid(&large, |pt| {
         audit_simulated(pt, &[Algorithm::RadixCcsas, Algorithm::SampleCcsas])
     }));
+
+    // ... and the topology × protocol cells: Dragon's update multicasts and
+    // the new hop patterns must neither introduce nor mask races.
+    let modes = mode_cells(quick, seed);
+    checked += modes.len();
+    failures.extend(run_grid(&modes, |pt| audit_simulated(pt, &Algorithm::ALL)));
 
     if failures.is_empty() {
         println!("race sweep clean: {checked} points, all simulator programs race-free");
@@ -263,6 +314,20 @@ fn replay(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let topo = match flag_value(args, "--topo").map(Point::parse_topo_flag).transpose() {
+        Ok(t) => t.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let proto = match flag_value(args, "--proto").map(Point::parse_proto_flag).transpose() {
+        Ok(pr) => pr.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let pt = Point {
         dist,
         n: parse_or_exit(args, "--n", None),
@@ -271,6 +336,8 @@ fn replay(args: &[String]) -> i32 {
         seed: parse_or_exit(args, "--seed", None),
         scale: parse_or_exit(args, "--scale", Some(256)),
         dir,
+        topo,
+        proto,
     };
     if pt.p < 1 || pt.n < pt.p {
         eprintln!("need --p >= 1 and --n >= --p (got n={} p={})", pt.n, pt.p);
@@ -286,6 +353,8 @@ fn replay(args: &[String]) -> i32 {
     if let Err(e) = ccsort_algos::ExpConfig::new(algs[0], pt.n, pt.p)
         .radix_bits(pt.r)
         .directory_mode(pt.dir)
+        .interconnect(pt.topo)
+        .protocol(pt.proto)
         .validate()
     {
         eprintln!("invalid replay point: {e}");

@@ -23,10 +23,17 @@
 //!   (pathological slowdowns that a real OS's page scatter prevents).
 //! * **free-messages** — software overheads of MPI/SHMEM set to zero;
 //!   expected: MPI/SHMEM gain, CC-SAS untouched, small sizes most of all.
+//!
+//! A second table swaps the machine's *mode* axes instead of zeroing a
+//! mechanism: interconnect topology (hypercube → 2-D mesh → fat-tree) and
+//! coherence protocol (invalidate → Dragon update), against the same
+//! (hypercube, invalidate) baseline. The hypercube-vs-mesh column pair and
+//! the invalidate-vs-update row pair put both headline comparisons side by
+//! side in one artefact.
 
 use ccsort_algos::dist::{generate, Dist, KEY_BITS};
 use ccsort_algos::radix;
-use ccsort_machine::{Machine, MachineConfig, Placement};
+use ccsort_machine::{InterconnectKind, Machine, MachineConfig, Placement, ProtocolMode};
 use ccsort_models::MpiMode;
 
 #[derive(Clone, Copy)]
@@ -129,5 +136,32 @@ fn main() {
     println!("\nabsolute baseline times (ms):");
     for (k, (_, name)) in VARIANTS.iter().enumerate() {
         println!("{name:>12}: {:>10.2}", baselines[k] / 1e6);
+    }
+
+    // Mode ablations: swap the interconnect / coherence-protocol layer
+    // instead of zeroing a cost. Baseline row is (hypercube, invalidate) —
+    // the default machine above — so every cell reads as "time under this
+    // mode relative to the paper machine".
+    let modes: [(&str, InterconnectKind, ProtocolMode); 5] = [
+        ("hypercube+inv", InterconnectKind::Hypercube, ProtocolMode::Invalidate),
+        ("mesh+inv", InterconnectKind::Mesh2D, ProtocolMode::Invalidate),
+        ("fat-tree:4+inv", InterconnectKind::FatTree(4), ProtocolMode::Invalidate),
+        ("hypercube+upd", InterconnectKind::Hypercube, ProtocolMode::DragonUpdate),
+        ("mesh+upd", InterconnectKind::Mesh2D, ProtocolMode::DragonUpdate),
+    ];
+    println!("\ntopology x protocol modes (same relative-to-baseline cells):");
+    print!("{:>16}", "mode");
+    for (_, name) in VARIANTS {
+        print!(" {name:>12}");
+    }
+    println!();
+    for (label, topo, proto) in modes {
+        let cfg = base_cfg().with_interconnect(topo).with_protocol(proto);
+        print!("{label:>16}");
+        for (k, &(v, _)) in VARIANTS.iter().enumerate() {
+            let t = run(cfg.clone(), v, n, p, r);
+            print!(" {:>12.3}", t / baselines[k]);
+        }
+        println!();
     }
 }

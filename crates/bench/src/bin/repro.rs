@@ -5,7 +5,11 @@
 //!
 //! ARTEFACT: table1 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
 //!           fig8 | fig9 | fig10 | table2 | predict | tradeoff | putget |
-//!           phases | sampling | all | quick
+//!           phases | sampling | p1024 | all | quick
+//!
+//! `p1024` is a post-paper artefact (ROADMAP item 2): the streamed program
+//! set at p = 1024. It is not part of `all`/`quick`, keeping the golden
+//! byte-diff over the default artefact set unchanged.
 //!
 //! OPTIONS:
 //!   --simkeys N      cap on simulated keys per run (default 2097152); each
@@ -28,7 +32,7 @@ use ccsort_bench::runner::{Runner, RunnerOpts, SIZE_LABELS};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--simkeys N] [--sizes 1M,4M,...] [--procs 16,32,64] [--seed N] \
-         [--json FILE] [--verbose] <table1|fig1..fig10|table2|tradeoff|putget|all|quick>..."
+         [--json FILE] [--verbose] <table1|fig1..fig10|table2|tradeoff|putget|p1024|all|quick>..."
     );
     std::process::exit(2);
 }
@@ -120,6 +124,8 @@ fn main() {
             "putget" => figures::putget(&mut r),
             "phases" => figures::phases(&mut r),
             "sampling" => figures::sampling(&mut r),
+            // New artefact, not in `all`/`quick` (golden stays byte-stable).
+            "p1024" => figures::p1024(&mut r),
             "all" | "quick" => {
                 figures::table1(&mut r);
                 figures::fig1(&mut r);

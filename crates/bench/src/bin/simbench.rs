@@ -20,7 +20,11 @@
 //! simulated time matches full-map — the program's writes are
 //! exclusive-owner handoffs, which every representation tracks precisely —
 //! so the rows isolate the host-side cost of the representation's
-//! bookkeeping in the hot loop.
+//! bookkeeping in the hot loop. A final block of topology × protocol rows
+//! re-runs the permutation program at p = 64 under the mesh and fat-tree
+//! interconnects and the Dragon update protocol (`topology`/`protocol`
+//! fields), tracking the host-side cost of the alternative hop
+//! computations and the update walk.
 //!
 //! The JSON is written by hand rather than through serde so the format is
 //! identical on every toolchain the repo builds against.
@@ -28,8 +32,8 @@
 use std::io::Write;
 use std::time::Instant;
 
-use ccsort_bench::hotpath::{run_cell_dir, HotpathResult, Program, GRID_PROCS};
-use ccsort_machine::DirectoryMode;
+use ccsort_bench::hotpath::{run_cell_modes, HotpathResult, Program, GRID_PROCS};
+use ccsort_machine::{DirectoryMode, InterconnectKind, ProtocolMode};
 
 fn usage() -> ! {
     eprintln!("usage: simbench [--out <path>] [--quick]");
@@ -86,32 +90,41 @@ fn main() {
     // Measure one (program, p, race, dir) cell both ways and keep each
     // variant's best of three interleaved reps: single-core turbo/thermal
     // drift otherwise biases whichever variant happens to run later.
-    let mut measure = |program: Program, p: usize, race: bool, dir: DirectoryMode| {
+    let mut measure = |program: Program,
+                       p: usize,
+                       race: bool,
+                       dir: DirectoryMode,
+                       topo: InterconnectKind,
+                       proto: ProtocolMode| {
         let passes = passes_for(program);
-        let mut slow = run_cell_dir(program, p, race, false, n, passes, dir);
-        let mut fast = run_cell_dir(program, p, race, true, n, passes, dir);
+        let run =
+            |fast: bool| run_cell_modes(program, p, race, fast, n, passes, dir, topo, proto);
+        let mut slow = run(false);
+        let mut fast = run(true);
         for _ in 0..2 {
-            let s = run_cell_dir(program, p, race, false, n, passes, dir);
+            let s = run(false);
             if s.keys_per_sec > slow.keys_per_sec {
                 slow = s;
             }
-            let f = run_cell_dir(program, p, race, true, n, passes, dir);
+            let f = run(true);
             if f.keys_per_sec > fast.keys_per_sec {
                 fast = f;
             }
         }
         assert_eq!(
             fast.simulated_ns, slow.simulated_ns,
-            "fast path must be exact: {} race={race} p={p} dir={dir}",
+            "fast path must be exact: {} race={race} p={p} dir={dir} topo={topo} proto={proto}",
             program.name()
         );
         let speedup = fast.keys_per_sec / slow.keys_per_sec.max(1e-9);
         println!(
-            "{:9}  race={:5}  p={:3}  dir={:20}  ref {:>10.0} keys/s  fast {:>10.0} keys/s  speedup {:>5.2}x",
+            "{:9}  race={:5}  p={:3}  dir={:20}  topo={:12}  proto={:13}  ref {:>10.0} keys/s  fast {:>10.0} keys/s  speedup {:>5.2}x",
             program.name(),
             race,
             p,
             dir.to_string(),
+            topo.to_string(),
+            proto.to_string(),
             slow.keys_per_sec,
             fast.keys_per_sec,
             speedup
@@ -120,17 +133,31 @@ fn main() {
         rows.push((fast, speedup));
     };
 
+    let (cube, inv) = (InterconnectKind::Hypercube, ProtocolMode::Invalidate);
     for program in [Program::Streamed, Program::Scattered, Program::Permutation] {
         for race in [false, true] {
             for p in GRID_PROCS {
-                measure(program, p, race, DirectoryMode::FullMap);
+                measure(program, p, race, DirectoryMode::FullMap, cube, inv);
             }
         }
     }
     // Large-p directory rows: the scattered-write-heavy program under the
     // imprecise sharer-set representations.
     for dir in [DirectoryMode::LimitedPointer(8), DirectoryMode::CoarseVector(8)] {
-        measure(Program::Permutation, 128, false, dir);
+        measure(Program::Permutation, 128, false, dir, cube, inv);
+    }
+    // Topology × protocol rows: the same scattered-write-heavy program at
+    // the paper machine's p = 64 under the alternative interconnects and
+    // the Dragon update protocol. Simulated time differs from the default
+    // rows here (that is the point); the fast/reference exactness assert
+    // still holds within each row pair.
+    for (topo, proto) in [
+        (InterconnectKind::Mesh2D, ProtocolMode::Invalidate),
+        (InterconnectKind::FatTree(4), ProtocolMode::Invalidate),
+        (InterconnectKind::Hypercube, ProtocolMode::DragonUpdate),
+        (InterconnectKind::Mesh2D, ProtocolMode::DragonUpdate),
+    ] {
+        measure(Program::Permutation, 64, false, DirectoryMode::FullMap, topo, proto);
     }
 
     let mut json = String::new();
@@ -141,11 +168,13 @@ fn main() {
     json.push_str("  \"results\": [\n");
     for (i, (r, speedup)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"program\": \"{}\", \"race_detector\": {}, \"p\": {}, \"directory\": \"{}\", \"fast_path\": {}, \"keys\": {}, \"wall_s\": {}, \"keys_per_sec\": {}, \"simulated_ns\": {}{}}}{}\n",
+            "    {{\"program\": \"{}\", \"race_detector\": {}, \"p\": {}, \"directory\": \"{}\", \"topology\": \"{}\", \"protocol\": \"{}\", \"fast_path\": {}, \"keys\": {}, \"wall_s\": {}, \"keys_per_sec\": {}, \"simulated_ns\": {}{}}}{}\n",
             r.program.name(),
             r.race_detector,
             r.p,
             r.dir,
+            r.topo,
+            r.proto,
             r.fast_path,
             r.keys,
             num(r.wall_s),

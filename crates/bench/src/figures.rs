@@ -316,6 +316,30 @@ pub fn fig7(r: &mut Runner) {
     );
 }
 
+/// ROADMAP item 2's p = 1024 cell — a **new artefact**, not one of the
+/// paper's grids, and deliberately excluded from `all`/`quick` so the
+/// golden byte-diff over the default artefact set is untouched. Runs the
+/// streamed-dominated program set — the variants whose touches the batched
+/// walk engine turns into streamed runs, which is what makes this scale
+/// feasible — at p = 1024 on the largest configured size.
+pub fn p1024(r: &mut Runner) {
+    let (saved_sizes, saved_procs) = (r.opts.sizes.clone(), r.opts.procs.clone());
+    r.opts.sizes = vec![*saved_sizes.last().expect("at least one size")];
+    r.opts.procs = vec![1024];
+    speedup_grid(
+        r,
+        "p1024",
+        "ROADMAP item 2: p = 1024 cell, streamed program set",
+        &[
+            (Algorithm::RadixCcsasNew, RADIX_R, "CC-SAS-NEW"),
+            (Algorithm::RadixShmem, RADIX_R, "SHMEM"),
+            (Algorithm::RadixMpiDirect, RADIX_R, "MPI"),
+        ],
+    );
+    r.opts.sizes = saved_sizes;
+    r.opts.procs = saved_procs;
+}
+
 /// Section 3.2's sampling-strategy space: the paper notes that how samples
 /// and splitters are chosen "affect\[s\] load balance and program complexity"
 /// and picks 128 regular samples per process as best on its system. This

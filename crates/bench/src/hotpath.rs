@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use ccsort_machine::{DirectoryMode, Machine, MachineConfig, Placement};
+use ccsort_machine::{DirectoryMode, InterconnectKind, Machine, MachineConfig, Placement, ProtocolMode};
 
 /// Which access pattern a microprogram exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +58,10 @@ pub struct HotpathResult {
     pub fast_path: bool,
     /// Directory sharer-set representation the machine ran with.
     pub dir: DirectoryMode,
+    /// Interconnect the machine ran with.
+    pub topo: InterconnectKind,
+    /// Coherence protocol the machine ran with.
+    pub proto: ProtocolMode,
     /// Simulated element touches performed.
     pub keys: u64,
     /// Host wall-clock seconds for the touch loop (excludes machine setup).
@@ -74,8 +78,18 @@ pub struct HotpathResult {
 /// (and the large-p coherence walk generally) shows up in the trajectory.
 pub const GRID_PROCS: [usize; 4] = [1, 16, 64, 128];
 
-fn build(p: usize, race: bool, fast: bool, dir: DirectoryMode) -> Machine {
-    let mut cfg = MachineConfig::origin2000(p).with_directory_mode(dir);
+fn build(
+    p: usize,
+    race: bool,
+    fast: bool,
+    dir: DirectoryMode,
+    topo: InterconnectKind,
+    proto: ProtocolMode,
+) -> Machine {
+    let mut cfg = MachineConfig::origin2000(p)
+        .with_directory_mode(dir)
+        .with_interconnect(topo)
+        .with_protocol(proto);
     cfg.race_detector = race;
     cfg.fast_path = fast;
     Machine::new(cfg)
@@ -108,7 +122,36 @@ pub fn run_cell_dir(
     passes: usize,
     dir: DirectoryMode,
 ) -> HotpathResult {
-    let mut m = build(p, race, fast, dir);
+    run_cell_modes(
+        program,
+        p,
+        race,
+        fast,
+        n,
+        passes,
+        dir,
+        InterconnectKind::Hypercube,
+        ProtocolMode::Invalidate,
+    )
+}
+
+/// [`run_cell_dir`] with the interconnect and coherence protocol explicit —
+/// the topology × protocol `simbench` rows measure the host-side cost of
+/// the alternative hop computations and the Dragon update walk on the same
+/// microprograms.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_modes(
+    program: Program,
+    p: usize,
+    race: bool,
+    fast: bool,
+    n: usize,
+    passes: usize,
+    dir: DirectoryMode,
+    topo: InterconnectKind,
+    proto: ProtocolMode,
+) -> HotpathResult {
+    let mut m = build(p, race, fast, dir, topo, proto);
     let arr = m.alloc(n, Placement::Partitioned { parts: p }, "hotpath");
     let chunk = n / p;
     assert!(chunk > 0, "n must be >= p");
@@ -242,6 +285,8 @@ pub fn run_cell_dir(
         race_detector: race,
         fast_path: fast,
         dir,
+        topo,
+        proto,
         keys,
         wall_s,
         keys_per_sec: keys as f64 / wall_s.max(1e-9),
@@ -281,6 +326,45 @@ mod tests {
             let slow = run_cell_dir(Program::Permutation, 4, false, false, 1 << 12, 2, dir);
             assert_eq!(fast.simulated_ns, slow.simulated_ns, "{dir} diverged");
             assert_eq!(fast.keys, slow.keys);
+        }
+    }
+
+    /// ... and under the non-default topologies and the Dragon update
+    /// protocol: the fast path carries no protocol- or topology-specific
+    /// logic (Dragon's written-shared lines re-enter the slow path by
+    /// construction), so simulated time must stay bit-identical between
+    /// the batched and reference walks in every mode.
+    #[test]
+    fn cells_are_fast_path_exact_in_new_modes() {
+        let combos = [
+            (InterconnectKind::Mesh2D, ProtocolMode::Invalidate),
+            (InterconnectKind::FatTree(4), ProtocolMode::Invalidate),
+            (InterconnectKind::Hypercube, ProtocolMode::DragonUpdate),
+            (InterconnectKind::Mesh2D, ProtocolMode::DragonUpdate),
+        ];
+        for (topo, proto) in combos {
+            for program in [Program::Streamed, Program::Scattered, Program::Permutation] {
+                let run = |fast| {
+                    run_cell_modes(
+                        program,
+                        4,
+                        false,
+                        fast,
+                        1 << 12,
+                        2,
+                        DirectoryMode::FullMap,
+                        topo,
+                        proto,
+                    )
+                };
+                let fast = run(true);
+                let slow = run(false);
+                assert_eq!(
+                    fast.simulated_ns, slow.simulated_ns,
+                    "{program:?} {topo}/{proto} diverged"
+                );
+                assert_eq!(fast.keys, slow.keys);
+            }
         }
     }
 

@@ -30,3 +30,22 @@ fn workspace_is_lint_clean() {
         report.used_allows
     );
 }
+
+/// The machine crate's extracted layers — the coherence-protocol seam and
+/// the multi-topology interconnect — hold exactly the code these two lints
+/// exist for (event-count observables and f64 latency accumulation), so
+/// their scope must keep covering the new modules.
+#[test]
+fn new_machine_layers_are_in_lint_scope() {
+    use ccsort_lints::all_lints;
+    let mut checked = 0;
+    for lint in all_lints() {
+        if matches!(lint.name(), "nondeterministic_iteration" | "float_reassociation") {
+            for path in ["crates/machine/src/protocol.rs", "crates/machine/src/topology.rs"] {
+                assert!(lint.applies_to(path), "{} must cover {path}", lint.name());
+            }
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 2, "both lints must exist in the registry");
+}

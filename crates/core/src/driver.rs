@@ -8,7 +8,8 @@
 //! the harness refuses to use it.
 
 use ccsort_machine::{
-    DirectoryMode, EventCounters, Machine, MachineConfig, Placement, TimeBreakdown, MAX_PROCS,
+    DirectoryMode, EventCounters, InterconnectKind, Machine, MachineConfig, Placement,
+    ProtocolMode, TimeBreakdown, MAX_PROCS,
 };
 use ccsort_models::comm::{CcsasComm, Communicator, MpiComm, Permute, ShmemComm};
 use ccsort_models::MpiMode;
@@ -171,6 +172,20 @@ pub struct ExpConfig {
     /// modes — only timing and protocol-event counts change.
     #[serde(default)]
     pub directory_mode: DirectoryMode,
+    /// Interconnect wiring between routers
+    /// ([`ccsort_machine::InterconnectKind`]). Hypercube by default — the
+    /// machine the paper measures; the mesh and fat-tree alternatives exist
+    /// for the topology ablations. Sorted output is bit-identical across
+    /// kinds — only hop counts, and hence timing, change.
+    #[serde(default)]
+    pub interconnect: InterconnectKind,
+    /// Coherence protocol for writes to shared lines
+    /// ([`ccsort_machine::ProtocolMode`]). MESI-style invalidation by
+    /// default; the Dragon-style update mode exists for the
+    /// invalidate-vs-update ablation. Sorted output is bit-identical across
+    /// modes — only protocol events and timing change.
+    #[serde(default)]
+    pub protocol: ProtocolMode,
 }
 
 fn default_true() -> bool {
@@ -194,6 +209,8 @@ impl ExpConfig {
             fast_path: default_true(),
             race_detector: false,
             directory_mode: DirectoryMode::FullMap,
+            interconnect: InterconnectKind::Hypercube,
+            protocol: ProtocolMode::Invalidate,
         }
     }
 
@@ -252,6 +269,16 @@ impl ExpConfig {
         self
     }
 
+    pub fn interconnect(mut self, kind: InterconnectKind) -> Self {
+        self.interconnect = kind;
+        self
+    }
+
+    pub fn protocol(mut self, proto: ProtocolMode) -> Self {
+        self.protocol = proto;
+        self
+    }
+
     /// Check the configuration against the machine's and the algorithms'
     /// hard limits before any simulation state is built. Pure host-side
     /// arithmetic: a valid config runs byte-identically with or without the
@@ -268,9 +295,14 @@ impl ExpConfig {
                 self.p
             ));
         }
-        // Delegate the per-mode directory constraints (pointer width, group
-        // size vs p) to the machine config's own validation.
-        MachineConfig::origin2000(self.p).with_directory_mode(self.directory_mode).validate()?;
+        // Delegate the per-mode directory, interconnect and protocol
+        // constraints (pointer width, group size vs p, fat-tree arity) to
+        // the machine config's own validation.
+        MachineConfig::origin2000(self.p)
+            .with_directory_mode(self.directory_mode)
+            .with_interconnect(self.interconnect)
+            .with_protocol(self.protocol)
+            .validate()?;
         if self.radix_bits == 0 {
             return Err("radix_bits = 0: each pass must consume at least one bit".to_string());
         }
@@ -297,6 +329,8 @@ impl ExpConfig {
         cfg.fast_path = self.fast_path;
         cfg.race_detector = self.race_detector;
         cfg.directory_mode = self.directory_mode;
+        cfg.interconnect = self.interconnect;
+        cfg.protocol = self.protocol;
         cfg
     }
 }
@@ -530,6 +564,24 @@ mod tests {
         let good = ExpConfig::new(Algorithm::RadixCcsas, 1024, 8)
             .directory_mode(DirectoryMode::CoarseVector(8));
         assert_eq!(good.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_checks_interconnect_and_protocol() {
+        let bad = ExpConfig::new(Algorithm::RadixCcsas, 1024, 64)
+            .interconnect(InterconnectKind::FatTree(1));
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("interconnect"), "error must name the field: {err}");
+        for kind in
+            [InterconnectKind::Hypercube, InterconnectKind::Mesh2D, InterconnectKind::FatTree(4)]
+        {
+            for proto in [ProtocolMode::Invalidate, ProtocolMode::DragonUpdate] {
+                let good = ExpConfig::new(Algorithm::RadixCcsas, 1024, 64)
+                    .interconnect(kind)
+                    .protocol(proto);
+                assert_eq!(good.validate(), Ok(()), "{kind} {proto}");
+            }
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod radix;
 pub mod sample;
 pub mod seq;
 
-pub use ccsort_machine::DirectoryMode;
+pub use ccsort_machine::{DirectoryMode, InterconnectKind, ProtocolMode};
 pub use dist::{stagger_window, Dist, KEY_BITS, MAX_KEY};
 pub use driver::{
     run_experiment, run_experiment_audited, run_sequential_baseline, Algorithm, ExpConfig,

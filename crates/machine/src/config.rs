@@ -50,6 +50,70 @@ impl std::fmt::Display for DirectoryMode {
     }
 }
 
+/// Interconnect wiring of the routers (see [`crate::Topology`]).
+///
+/// `Hypercube` is the bit-exact default — the Origin 2000's own fabric,
+/// where the hop count between two routers is the Hamming distance of
+/// their ids. `Mesh2D` arranges the routers row-major on a
+/// `ceil(sqrt(R))`-wide 2-D grid with dimension-ordered (XY) routing, the
+/// AP1000/torus-style fabric of the Weaver & Lynes sorting study.
+/// `FatTree(k)` hangs the routers off a complete `k`-ary switch tree
+/// (leaves only; CM-5 style) — a message climbs to the lowest common
+/// ancestor and back down, so the hop count is twice that level. All
+/// three expose the same `hops`-based latency interface; only the hop
+/// counts (and hence remote latencies and contention windows) differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InterconnectKind {
+    /// Router hops = Hamming distance of router ids (Origin 2000).
+    #[default]
+    Hypercube,
+    /// Row-major 2-D mesh, XY routing: hops = Manhattan distance.
+    Mesh2D,
+    /// Complete `k`-ary fat tree over the routers: hops = 2 × levels to
+    /// the lowest common ancestor.
+    FatTree(usize),
+}
+
+impl std::fmt::Display for InterconnectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterconnectKind::Hypercube => write!(f, "hypercube"),
+            InterconnectKind::Mesh2D => write!(f, "mesh"),
+            InterconnectKind::FatTree(k) => write!(f, "fat-tree({k})"),
+        }
+    }
+}
+
+/// Coherence protocol the directory runs on a remote write (see
+/// `crates/machine/src/protocol.rs`).
+///
+/// `Invalidate` is the bit-exact default: MESI semantics, where a write to
+/// a line with other sharers invalidates every copy and takes the line
+/// exclusive. `DragonUpdate` is a Dragon-style update protocol: a write to
+/// a shared line instead *multicasts the new data* to every sharer — the
+/// copies stay valid and the line stays Shared, so readers never re-miss,
+/// but **every** write to a shared line pays an update multicast (charged
+/// through `ctrl_occ_ns` and the phase contention model). The classic
+/// trade: invalidation misses versus update traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ProtocolMode {
+    /// MESI-style write-invalidate (Origin 2000's protocol).
+    #[default]
+    Invalidate,
+    /// Dragon-style write-update: shared lines stay shared; writes
+    /// multicast the data to all sharers.
+    DragonUpdate,
+}
+
+impl std::fmt::Display for ProtocolMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolMode::Invalidate => write!(f, "invalidate"),
+            ProtocolMode::DragonUpdate => write!(f, "dragon-update"),
+        }
+    }
+}
+
 /// Geometry of a set-associative cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheGeom {
@@ -219,6 +283,18 @@ pub struct MachineConfig {
     /// organisations machines use to scale past that.
     #[serde(default)]
     pub directory_mode: DirectoryMode,
+
+    /// Router interconnect wiring. The hypercube default is bit-exact with
+    /// the pre-existing hardwired topology; mesh and fat-tree change only
+    /// hop counts (and everything priced off them).
+    #[serde(default)]
+    pub interconnect: InterconnectKind,
+
+    /// Coherence protocol for writes to lines with other sharers. The
+    /// invalidate default is bit-exact with the pre-existing MESI walk;
+    /// Dragon-update trades invalidation misses for update traffic.
+    #[serde(default)]
+    pub protocol: ProtocolMode,
 }
 
 fn default_true() -> bool {
@@ -266,12 +342,26 @@ impl MachineConfig {
             race_detector: false,
             fast_path: default_true(),
             directory_mode: DirectoryMode::FullMap,
+            interconnect: InterconnectKind::Hypercube,
+            protocol: ProtocolMode::Invalidate,
         }
     }
 
     /// Builder-style selection of the directory's sharer-set representation.
     pub fn with_directory_mode(mut self, mode: DirectoryMode) -> Self {
         self.directory_mode = mode;
+        self
+    }
+
+    /// Builder-style selection of the router interconnect.
+    pub fn with_interconnect(mut self, kind: InterconnectKind) -> Self {
+        self.interconnect = kind;
+        self
+    }
+
+    /// Builder-style selection of the coherence protocol.
+    pub fn with_protocol(mut self, proto: ProtocolMode) -> Self {
+        self.protocol = proto;
         self
     }
 
@@ -410,6 +500,19 @@ impl MachineConfig {
                 })?;
             }
         }
+        if let InterconnectKind::FatTree(k) = self.interconnect {
+            // Arity 1 would make every "tree" level a chain of unary
+            // switches with no common-ancestor structure, and an arity past
+            // the largest possible router count (MAX_PROCS processors, two
+            // per node, two nodes per router) is a typo. The range is a
+            // constant on purpose: an arity wider than the machine's actual
+            // router count is a valid (flat, single-switch) tree, so small
+            // test machines accept the same arities the big ones do.
+            const MAX_ARITY: usize = MAX_PROCS / 4;
+            check((2..=MAX_ARITY).contains(&k), || {
+                format!("interconnect: fat-tree arity {k} outside 2..={MAX_ARITY}")
+            })?;
+        }
         Ok(())
     }
 }
@@ -501,6 +604,42 @@ mod tests {
             assert_eq!(c.n_nodes(), 128);
             assert_eq!(c.n_routers(), 64);
         }
+    }
+
+    #[test]
+    fn fat_tree_arity_validated_with_field_name() {
+        let mut c = MachineConfig::origin2000(64);
+        c.interconnect = InterconnectKind::FatTree(1);
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("interconnect"), "error must name the field: {err}");
+        assert!(err.contains("fat-tree"), "{err}");
+        c.interconnect = InterconnectKind::FatTree(999);
+        assert!(c.validate().unwrap_err().contains("fat-tree"));
+        c.interconnect = InterconnectKind::FatTree(4);
+        c.validate().unwrap();
+        c.interconnect = InterconnectKind::Mesh2D;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn interconnect_and_protocol_default_and_display() {
+        let c = MachineConfig::origin2000(8);
+        assert_eq!(c.interconnect, InterconnectKind::Hypercube);
+        assert_eq!(c.protocol, ProtocolMode::Invalidate);
+        assert_eq!(InterconnectKind::Hypercube.to_string(), "hypercube");
+        assert_eq!(InterconnectKind::Mesh2D.to_string(), "mesh");
+        assert_eq!(InterconnectKind::FatTree(4).to_string(), "fat-tree(4)");
+        assert_eq!(ProtocolMode::Invalidate.to_string(), "invalidate");
+        assert_eq!(ProtocolMode::DragonUpdate.to_string(), "dragon-update");
+        // The enum `Default` impls back the `#[serde(default)]` attributes,
+        // so configs serialized before these fields existed deserialize to
+        // the bit-exact default machine.
+        assert_eq!(InterconnectKind::default(), InterconnectKind::Hypercube);
+        assert_eq!(ProtocolMode::default(), ProtocolMode::Invalidate);
+        // And the fields do appear when a config is serialized.
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("interconnect"), "{json}");
+        assert!(json.contains("protocol"), "{json}");
     }
 
     #[test]

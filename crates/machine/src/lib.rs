@@ -10,11 +10,15 @@
 //! invalidation protocol ([`directory::Directory`], full-map by default,
 //! with limited-pointer and coarse-vector representations selectable via
 //! [`config::DirectoryMode`]) over a paged,
-//! placement-aware address space ([`memory::AddressSpace`]), a hypercube
-//! interconnect ([`topology::Topology`]) and a phase-level controller
-//! contention model ([`contention::PhaseTraffic`]). Programs running on the
-//! machine accumulate virtual time split into the paper's four buckets —
-//! BUSY, LMEM, RMEM, SYNC ([`stats::TimeBreakdown`]).
+//! placement-aware address space ([`memory::AddressSpace`]), a pluggable
+//! interconnect ([`topology::Topology`]: hypercube by default, 2-D mesh and
+//! fat-tree via [`config::InterconnectKind`]) and a phase-level controller
+//! contention model ([`contention::PhaseTraffic`]). The directory's write
+//! transitions are equally pluggable ([`protocol`]): MESI-style
+//! invalidation by default, a Dragon-style update mode via
+//! [`config::ProtocolMode`]. Programs running on the machine accumulate
+//! virtual time split into the paper's four buckets — BUSY, LMEM, RMEM,
+//! SYNC ([`stats::TimeBreakdown`]).
 //!
 //! Crucially, simulated arrays have *real* backing stores: algorithms
 //! running on the machine genuinely sort data, and tests verify the output.
@@ -39,12 +43,13 @@ pub mod contention;
 pub mod directory;
 pub mod machine;
 pub mod memory;
+pub mod protocol;
 pub mod race;
 pub mod stats;
 pub mod tlb;
 pub mod topology;
 
-pub use config::{CacheGeom, DirectoryMode, MachineConfig, MAX_PROCS};
+pub use config::{CacheGeom, DirectoryMode, InterconnectKind, MachineConfig, ProtocolMode, MAX_PROCS};
 pub use directory::{DirState, Directory};
 pub use machine::{Machine, Pattern};
 pub use memory::{ArrayId, Placement};

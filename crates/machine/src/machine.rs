@@ -10,7 +10,7 @@
 //! deterministic.
 
 use crate::cache::{Cache, LineState, Probe};
-use crate::config::MachineConfig;
+use crate::config::{MachineConfig, ProtocolMode};
 use crate::contention::{Delay, PhaseTraffic};
 use crate::directory::{Directory, DirState};
 use crate::memory::{AddressSpace, ArrayId, Placement};
@@ -31,31 +31,31 @@ pub enum Pattern {
 }
 
 #[derive(Debug, Clone)]
-struct PeState {
-    l1: Cache,
-    cache: Cache,
-    tlb: Tlb,
-    time: f64,
-    brk: TimeBreakdown,
-    ev: EventCounters,
+pub(crate) struct PeState {
+    pub(crate) l1: Cache,
+    pub(crate) cache: Cache,
+    pub(crate) tlb: Tlb,
+    pub(crate) time: f64,
+    pub(crate) brk: TimeBreakdown,
+    pub(crate) ev: EventCounters,
     /// Fast-path hint: the line this PE touched most recently via
     /// `touch_line` (`u64::MAX` = none). While the hint stands, the line is
     /// the MRU entry of its L1 set and its page is the TLB's `last` page, so
     /// a repeat touch can skip the whole protocol walk (see `touch_line` for
     /// the exactness argument). Cleared whenever an action outside this PE's
     /// own `touch_line` flow changes the line's cache state.
-    hint_line: u64,
+    pub(crate) hint_line: u64,
     /// Whether the hinted line was last touched by a *write* (L1 and L2 both
     /// Modified and MRU). Required for a repeat write to take the fast path;
     /// a read-established hint must send the next write down the slow path
     /// (its L2 stamp/state update is observable).
-    hint_write: bool,
+    pub(crate) hint_write: bool,
 }
 
 impl PeState {
     /// Invalidate a line at every level; returns whether the L2 copy was
     /// dirty.
-    fn invalidate_all(&mut self, line: u64) -> bool {
+    pub(crate) fn invalidate_all(&mut self, line: u64) -> bool {
         if line == self.hint_line {
             self.hint_line = u64::MAX;
         }
@@ -65,7 +65,7 @@ impl PeState {
 
     /// Downgrade a line to Shared at every level; returns whether the L2
     /// copy was dirty.
-    fn downgrade_all(&mut self, line: u64) -> bool {
+    pub(crate) fn downgrade_all(&mut self, line: u64) -> bool {
         if line == self.hint_line {
             // Reads may still fast-path a Shared line; writes no longer can.
             self.hint_write = false;
@@ -78,14 +78,14 @@ impl PeState {
 /// The simulated CC-NUMA multiprocessor.
 #[derive(Debug, Clone)]
 pub struct Machine {
-    cfg: MachineConfig,
-    topo: Topology,
-    mem: AddressSpace,
-    dir: Directory,
-    pes: Vec<PeState>,
-    traffic: PhaseTraffic,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) topo: Topology,
+    pub(crate) mem: AddressSpace,
+    pub(crate) dir: Directory,
+    pub(crate) pes: Vec<PeState>,
+    pub(crate) traffic: PhaseTraffic,
     phase_start: Vec<f64>,
-    node_of: Vec<usize>,
+    pub(crate) node_of: Vec<usize>,
     line_shift: u32,
     page_shift: u32,
     /// Program-declared sections for per-phase profiling: every time charge
@@ -1038,166 +1038,20 @@ impl Machine {
     /// Split out so `touch_batch` can run the probe inside its tight loop
     /// (inlining the common Hit arm) and hand only upgrades/misses here —
     /// every line still gets exactly one L2 tag walk.
+    ///
+    /// The transitions themselves live in [`crate::protocol`]: this is the
+    /// coherence-protocol seam, dispatched on `MachineConfig::protocol`.
+    /// The invalidate arm is the verbatim pre-seam body, so the default
+    /// configuration executes the identical instruction stream.
     fn touch_line_post_l2(&mut self, pe: usize, line: u64, write: bool, pat: Pattern, probe: Probe) {
-        let home = self.mem.home_of_line(line);
-        let my_node = self.node_of[pe];
-
-        match probe {
-            Probe::Hit(state) => {
-                self.pes[pe].ev.cache_hits += 1;
-                // L1 refill from L2 (no protocol action); the probe already
-                // carries the post-access state, sparing a second tag walk.
-                self.pes[pe].l1.install(line, state);
-                self.charge(pe, self.cfg.l2_hit_ns, Bucket::Lmem);
-            }
-            Probe::UpgradeNeeded => {
-                // Write hit on a Shared line: invalidate the other sharers
-                // (every *potential* sharer, under an imprecise directory
-                // mode — the over-targeted invalidations are charged below
-                // exactly like real ones).
-                let (dir, pes) = (&self.dir, &mut self.pes);
-                let n_inv = dir.for_each_target(line, Some(pe), |other| {
-                    pes[other].invalidate_all(line);
-                });
-                self.dir.set_exclusive(line, pe);
-                self.pes[pe].cache.upgrade(line);
-                self.pes[pe].l1.upgrade(line);
-                self.pes[pe].ev.upgrades += 1;
-                self.pes[pe].ev.invalidations += n_inv;
-                let occ = self.cfg.ctrl_occ_ns * (1.0 + n_inv as f64);
-                self.traffic.add(pe, home, occ, 1 + n_inv, 1);
-                let lat = self.topo.mem_latency(pe, home);
-                let frac = self.write_frac(pat);
-                let bucket = if home == my_node { Bucket::Lmem } else { Bucket::Rmem };
-                self.charge(pe, frac * lat, bucket);
-            }
-            Probe::Miss { victim } => {
-                // Evict first so the directory stays precise (L1 inclusion:
-                // the victim leaves L1 too).
-                if let Some(v) = victim {
-                    self.pes[pe].l1.invalidate(v.line);
-                    let evicted = self.pes[pe].cache.invalidate(v.line);
-                    debug_assert_eq!(evicted, v.dirty);
-                    self.dir.remove_sharer(v.line, pe);
-                    if v.dirty {
-                        let vhome = self.mem.home_of_line(v.line);
-                        self.pes[pe].ev.writebacks += 1;
-                        // The writeback doesn't stall the processor but its
-                        // transactions occupy the victim's home controller.
-                        self.traffic.add(pe, vhome, self.cfg.ctrl_occ_ns + self.cfg.data_occ_ns, 1, 0);
-                    }
-                }
-
-                let mut lat = self.topo.mem_latency(pe, home);
-                let mut remote = home != my_node;
-                let mut occ = self.cfg.ctrl_occ_ns + self.cfg.data_occ_ns;
-                let mut txns: u64 = 1;
-
-                match self.dir.state(line) {
-                    DirState::Unowned => {
-                        if write {
-                            self.dir.set_exclusive(line, pe);
-                        } else {
-                            // MESI: a read with no other sharers installs
-                            // Exclusive (clean).
-                            self.dir.set_exclusive(line, pe);
-                        }
-                    }
-                    DirState::Shared => {
-                        if write {
-                            let (dir, pes) = (&self.dir, &mut self.pes);
-                            let n_inv = dir.for_each_target(line, Some(pe), |other| {
-                                pes[other].invalidate_all(line);
-                            });
-                            self.pes[pe].ev.invalidations += n_inv;
-                            occ += self.cfg.ctrl_occ_ns * n_inv as f64;
-                            txns += n_inv;
-                            self.dir.set_exclusive(line, pe);
-                        } else {
-                            self.dir.add_sharer(line, pe);
-                        }
-                    }
-                    DirState::Exclusive(owner) => {
-                        let owner = owner as usize;
-                        if owner == pe {
-                            // Stale self-ownership cannot occur with precise
-                            // eviction notifications; treat as Unowned.
-                            self.dir.set_exclusive(line, pe);
-                        } else {
-                            // Cache-to-cache intervention through the home.
-                            let owner_node = self.node_of[owner];
-                            lat += self.cfg.intervention_ns
-                                + f64::from(self.topo.hops(home, owner_node)) * self.cfg.hop_ns;
-                            remote = remote || owner_node != my_node;
-                            self.pes[pe].ev.interventions += 1;
-                            // Forwarded request + transfer occupy the owner's
-                            // node controller as well as the home.
-                            occ += self.cfg.ctrl_occ_ns;
-                            txns += 1;
-                            self.traffic
-                                .add(pe, owner_node, self.cfg.ctrl_occ_ns + self.cfg.data_occ_ns, 1, 1);
-                            if write {
-                                self.pes[owner].invalidate_all(line);
-                                self.pes[pe].ev.invalidations += 1;
-                                self.dir.set_exclusive(line, pe);
-                            } else {
-                                self.pes[owner].downgrade_all(line);
-                                self.dir.add_sharer(line, owner);
-                                self.dir.add_sharer(line, pe);
-                            }
-                        }
-                    }
-                }
-
-                self.traffic.add(pe, home, occ, txns, 1);
-                let frac = if write {
-                    if remote && pat == Pattern::Scattered {
-                        self.cfg.write_stall_scattered_remote
-                    } else {
-                        self.write_frac(pat)
-                    }
-                } else {
-                    self.read_frac(pat)
-                };
-                let bucket = if remote { Bucket::Rmem } else { Bucket::Lmem };
-                self.charge(pe, frac * lat + self.cfg.l2_hit_ns, bucket);
-                if remote {
-                    self.pes[pe].ev.misses_remote += 1;
-                } else {
-                    self.pes[pe].ev.misses_local += 1;
-                }
-
-                let state = if write {
-                    LineState::Modified
-                } else if matches!(self.dir.state(line), DirState::Shared) {
-                    LineState::Shared
-                } else {
-                    LineState::Exclusive
-                };
-                let leftover = self.pes[pe].cache.install(line, state);
-                debug_assert!(leftover.is_none(), "probe already freed a way");
-                if let Some(v1) = self.pes[pe].l1.install(line, state) {
-                    // L1 victims are silently dropped: L2 still holds the
-                    // line (inclusive hierarchy), so no state is lost.
-                    let _ = v1;
-                }
-            }
-        }
-        // The hint is only exact when the line actually sits in L1: the
-        // UpgradeNeeded arm can run with the line held in L2 alone (its L1
-        // copy was evicted earlier), in which case `l1.upgrade` is a no-op
-        // and a repeat touch must still pay the L1-miss L2-refill charge.
-        let s = &mut self.pes[pe];
-        if s.l1.state(line).is_some() {
-            s.hint_line = line;
-            s.hint_write = write;
-        } else {
-            s.hint_line = u64::MAX;
+        match self.cfg.protocol {
+            ProtocolMode::Invalidate => self.post_l2_invalidate(pe, line, write, pat, probe),
+            ProtocolMode::DragonUpdate => self.post_l2_dragon(pe, line, write, pat, probe),
         }
     }
 
     #[inline]
-    fn read_frac(&self, pat: Pattern) -> f64 {
+    pub(crate) fn read_frac(&self, pat: Pattern) -> f64 {
         match pat {
             Pattern::Streamed => self.cfg.read_stall_streamed,
             Pattern::Scattered => self.cfg.read_stall_scattered,
@@ -1205,7 +1059,7 @@ impl Machine {
     }
 
     #[inline]
-    fn write_frac(&self, pat: Pattern) -> f64 {
+    pub(crate) fn write_frac(&self, pat: Pattern) -> f64 {
         match pat {
             Pattern::Streamed => self.cfg.write_stall_streamed,
             Pattern::Scattered => self.cfg.write_stall_scattered,

@@ -80,6 +80,9 @@ pub struct EventCounters {
     pub invalidations: u64,
     /// Ownership upgrades (write hit on a Shared line).
     pub upgrades: u64,
+    /// Update messages multicast to sharers (Dragon-style update protocol;
+    /// always zero under the default invalidate protocol).
+    pub updates: u64,
     /// Dirty lines written back on eviction.
     pub writebacks: u64,
     /// TLB misses.
@@ -110,6 +113,7 @@ impl EventCounters {
         self.interventions += o.interventions;
         self.invalidations += o.invalidations;
         self.upgrades += o.upgrades;
+        self.updates += o.updates;
         self.writebacks += o.writebacks;
         self.tlb_misses += o.tlb_misses;
         self.messages += o.messages;

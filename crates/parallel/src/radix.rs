@@ -330,7 +330,7 @@ impl<K: Copy + Default, V: Copy + Default> WorkerScratch<K, V> {
 /// Caller-owned reusable buffers for [`par_radix_sort_with_scratch`] and
 /// [`crate::pairs::par_radix_sort_pairs_with_scratch`]: the flip buffers,
 /// the per-chunk count matrices, the sequential-fallback histogram, and
-/// one [`WorkerScratch`] per worker. Everything is reshaped (never shrunk)
+/// one `WorkerScratch` per worker. Everything is reshaped (never shrunk)
 /// on each call, so a steady stream of same-shaped sorts touches only
 /// buffers allocated by the first call.
 ///

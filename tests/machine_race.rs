@@ -111,6 +111,8 @@ fn quick_matrix_is_race_free() {
                 seed: 0,
                 scale: 256,
                 dir: ccsort::machine::DirectoryMode::FullMap,
+                topo: ccsort::machine::InterconnectKind::Hypercube,
+                proto: ccsort::machine::ProtocolMode::Invalidate,
             };
             let errs = audit_simulated(&pt, &Algorithm::ALL);
             assert_eq!(errs, Vec::<String>::new());
